@@ -1,0 +1,206 @@
+(* pvr: command-line driver for the PVR library.
+
+     pvr round --behaviour false-bits -k 8     run one Figure-1 round
+     pvr check <config-file>                   parse + static-check a policy
+     pvr topology --tiers 2,4,8                BGP convergence statistics
+     pvr primitives                            crypto primitive timings *)
+
+module P = Pvr
+module G = Pvr_bgp
+module R = Pvr_rfg
+module C = Pvr_crypto
+
+let asn = G.Asn.of_int
+
+(* ---- round ---------------------------------------------------------------- *)
+
+let behaviour_conv =
+  let parse s =
+    match
+      List.find_opt (fun b -> P.Adversary.to_string b = s) P.Adversary.all
+    with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            ("unknown behaviour; one of: "
+            ^ String.concat ", " (List.map P.Adversary.to_string P.Adversary.all)))
+  in
+  let print ppf b = Format.pp_print_string ppf (P.Adversary.to_string b) in
+  Cmdliner.Arg.conv (parse, print)
+
+let run_round behaviour k bits seed dump_evidence =
+  let rng = C.Drbg.of_int_seed seed in
+  let a = asn 1 and b = asn 100 in
+  let providers = List.init k (fun i -> asn (10 + i)) in
+  Printf.printf "Generating %d RSA-%d keys...\n%!" (k + 2) bits;
+  let keyring = P.Keyring.create ~bits rng (a :: b :: providers) in
+  let prefix = G.Prefix.of_string "203.0.113.0/24" in
+  let routes =
+    List.mapi
+      (fun i n ->
+        let len = 1 + (i mod 8) in
+        let path =
+          List.init len (fun j -> if j = 0 then n else asn (8000 + j))
+        in
+        let base = G.Route.originate ~asn:n prefix in
+        (n, { base with G.Route.as_path = path; next_hop = n }))
+      providers
+  in
+  let r =
+    P.Runner.min_round behaviour rng keyring ~prover:a ~beneficiary:b ~epoch:1
+      ~prefix ~routes
+  in
+  Printf.printf "behaviour=%s detected=%b convicted=%b messages=%d\n"
+    (P.Adversary.to_string behaviour)
+    r.P.Runner.detected r.P.Runner.convicted r.P.Runner.messages;
+  List.iter
+    (fun (_, e, v) ->
+      Printf.printf "  [%s] %s\n" (P.Judge.verdict_to_string v)
+        (P.Evidence.describe e);
+      if dump_evidence then
+        Printf.printf "    transportable evidence (hex): %s...\n"
+          (String.sub (P.Evidence_codec.to_hex e) 0
+             (min 96 (String.length (P.Evidence_codec.to_hex e)))))
+    r.P.Runner.judged;
+  if behaviour = P.Adversary.Honest && r.P.Runner.detected then exit 1
+
+(* ---- check ----------------------------------------------------------------- *)
+
+let run_check file =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  match R.Compiler.parse src with
+  | Error e ->
+      Format.eprintf "%s: %a@." file R.Compiler.pp_error e;
+      exit 1
+  | Ok config ->
+      Format.printf "parsed policy for %a: %d promises@." G.Asn.pp
+        config.R.Compiler.owner
+        (List.length config.R.Compiler.promises);
+      let neighbors =
+        (* All ASes mentioned in import blocks serve as the neighbor set. *)
+        List.map fst config.R.Compiler.imports
+      in
+      List.iter
+        (fun (beneficiary, promise, rfg) ->
+          let issues =
+            R.Static_check.implements rfg ~promise ~beneficiary ~neighbors
+          in
+          Format.printf "promise to %a (%s): %s@." G.Asn.pp beneficiary
+            (R.Promise.describe promise)
+            (if issues = [] then "OK"
+             else
+               String.concat "; "
+                 (List.map
+                    (Format.asprintf "%a" R.Static_check.pp_issue)
+                    issues)))
+        (R.Compiler.compile config ~neighbors)
+
+(* ---- topology --------------------------------------------------------------- *)
+
+let run_topology tiers peering seed =
+  let rng = C.Drbg.of_int_seed seed in
+  let tiers = List.map int_of_string (String.split_on_char ',' tiers) in
+  let topo = G.Topology.hierarchy rng ~tiers ~extra_peering:peering in
+  Printf.printf "topology: %d ASes, %d links\n" (G.Topology.size topo)
+    (List.length (G.Topology.links topo));
+  let sim = G.Simulator.create topo in
+  let prefix = G.Prefix.of_string "198.51.100.0/24" in
+  let origin = asn (G.Topology.size topo) in
+  G.Simulator.originate sim ~asn:origin prefix;
+  let msgs = G.Simulator.run sim in
+  let reached =
+    List.length
+      (List.filter
+         (fun a -> G.Simulator.best_route sim ~asn:a prefix <> None)
+         (G.Topology.ases topo))
+  in
+  Printf.printf "converged in %d messages; %d/%d ASes reach %s's prefix\n" msgs
+    reached (G.Topology.size topo) (G.Asn.to_string origin)
+
+(* ---- primitives ------------------------------------------------------------- *)
+
+let run_primitives bits =
+  let rng = C.Drbg.of_int_seed 1 in
+  Printf.printf "RSA-%d keygen...\n%!" bits;
+  let key = C.Rsa.generate rng ~bits in
+  let time_ms f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.3 do
+      ignore (f ());
+      incr n
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int !n
+  in
+  Printf.printf "sha256 64B   : %.4f ms\n"
+    (time_ms (fun () -> C.Sha256.digest (String.make 64 'x')));
+  Printf.printf "rsa sign     : %.4f ms (paper, 2011: ~2 ms for RSA-1024)\n"
+    (time_ms (fun () -> C.Rsa.sign key "payload"));
+  let s = C.Rsa.sign key "payload" in
+  Printf.printf "rsa verify   : %.4f ms\n"
+    (time_ms (fun () -> C.Rsa.verify key.C.Rsa.pub ~msg:"payload" ~signature:s))
+
+(* ---- cmdliner wiring ----------------------------------------------------------- *)
+
+open Cmdliner
+
+let round_cmd =
+  let behaviour =
+    Arg.(
+      value
+      & opt behaviour_conv P.Adversary.Honest
+      & info [ "behaviour"; "b" ] ~doc:"Prover behaviour.")
+  in
+  let k =
+    Arg.(value & opt int 4 & info [ "k" ] ~doc:"Number of providers.")
+  in
+  let bits =
+    Arg.(value & opt int 1024 & info [ "bits" ] ~doc:"RSA modulus size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"DRBG seed.") in
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "dump-evidence" ]
+          ~doc:"Print each piece of evidence in transportable hex form.")
+  in
+  Cmd.v
+    (Cmd.info "round" ~doc:"Run one Figure-1 verification round")
+    Term.(const run_round $ behaviour $ k $ bits $ seed $ dump)
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and statically check a policy file")
+    Term.(const run_check $ file)
+
+let topology_cmd =
+  let tiers =
+    Arg.(value & opt string "2,4,8" & info [ "tiers" ] ~doc:"ASes per tier.")
+  in
+  let peering =
+    Arg.(value & opt float 0.1 & info [ "peering" ] ~doc:"Same-tier peering probability.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"DRBG seed.") in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate a hierarchy and run BGP to convergence")
+    Term.(const run_topology $ tiers $ peering $ seed)
+
+let primitives_cmd =
+  let bits =
+    Arg.(value & opt int 1024 & info [ "bits" ] ~doc:"RSA modulus size.")
+  in
+  Cmd.v
+    (Cmd.info "primitives" ~doc:"Time the §3.8 crypto primitives")
+    Term.(const run_primitives $ bits)
+
+let () =
+  let info =
+    Cmd.info "pvr" ~version:"1.0.0"
+      ~doc:"Private and verifiable interdomain routing (HotNets-X 2011)"
+  in
+  exit (Cmd.eval (Cmd.group info [ round_cmd; check_cmd; topology_cmd; primitives_cmd ]))

@@ -1,0 +1,1 @@
+examples/byzantine_detection.ml: List Printf Pvr Pvr_bgp Pvr_crypto

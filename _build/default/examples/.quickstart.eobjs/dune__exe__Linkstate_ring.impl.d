@@ -1,0 +1,1 @@
+examples/linkstate_ring.ml: List Printf Pvr Pvr_bgp Pvr_crypto String

@@ -1,0 +1,1 @@
+examples/linkstate_ring.mli:

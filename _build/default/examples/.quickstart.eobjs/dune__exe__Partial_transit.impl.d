@@ -1,0 +1,1 @@
+examples/partial_transit.ml: Format List Option Printf Pvr Pvr_bgp Pvr_crypto Pvr_rfg

@@ -1,0 +1,1 @@
+examples/policy_compiler.ml: Format List Pvr Pvr_bgp Pvr_rfg String

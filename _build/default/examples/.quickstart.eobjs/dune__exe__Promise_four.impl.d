@@ -1,0 +1,1 @@
+examples/promise_four.ml: List Printf Pvr Pvr_bgp Pvr_crypto

@@ -1,0 +1,1 @@
+examples/promise_four.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Pvr Pvr_bgp Pvr_crypto

@@ -1,0 +1,1 @@
+lib/bgp/asn.ml: Format Int Map Set

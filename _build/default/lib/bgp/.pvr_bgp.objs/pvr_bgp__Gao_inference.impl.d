@@ -1,0 +1,1 @@
+lib/bgp/gao_inference.ml: Array Asn List Map Option Relationship Topology

@@ -1,0 +1,1 @@
+lib/bgp/gao_inference.mli: Asn Relationship Topology

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Asn Format List Prefix Route

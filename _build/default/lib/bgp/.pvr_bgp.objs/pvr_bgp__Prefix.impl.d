@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Format Int List Map Printf Pvr_crypto Set String

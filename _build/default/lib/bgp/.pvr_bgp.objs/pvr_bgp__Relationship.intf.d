@@ -1,0 +1,1 @@
+lib/bgp/relationship.mli: Format

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Asn List Option Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Asn Format List Prefix Pvr_crypto String

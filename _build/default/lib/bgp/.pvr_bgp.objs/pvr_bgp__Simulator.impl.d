@@ -1,0 +1,1 @@
+lib/bgp/simulator.ml: Asn Decision List Option Policy Prefix Queue Relationship Rib Route Topology

@@ -1,0 +1,1 @@
+lib/bgp/simulator.mli: Asn Policy Prefix Rib Route Topology

@@ -1,0 +1,1 @@
+lib/bgp/topology.ml: Array Asn Format List Option Pvr_crypto Relationship

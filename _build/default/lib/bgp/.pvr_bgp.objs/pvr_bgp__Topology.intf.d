@@ -1,0 +1,1 @@
+lib/bgp/topology.mli: Asn Format Pvr_crypto Relationship

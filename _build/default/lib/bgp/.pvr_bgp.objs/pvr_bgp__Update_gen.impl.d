@@ -1,0 +1,1 @@
+lib/bgp/update_gen.ml: Asn Hashtbl Int List Option Prefix Pvr_crypto Route

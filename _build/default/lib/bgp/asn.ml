@@ -1,0 +1,21 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Asn.of_int: negative AS number";
+  n
+
+let to_int n = n
+let equal = Int.equal
+let compare = Int.compare
+let hash n = n
+let to_string n = "AS" ^ string_of_int n
+let pp ppf n = Format.pp_print_string ppf (to_string n)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,18 @@
+(** Autonomous-system numbers. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative numbers. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as ["AS64512"]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

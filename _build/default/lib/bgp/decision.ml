@@ -1,0 +1,45 @@
+type step =
+  | Highest_local_pref
+  | Shortest_as_path
+  | Lowest_origin
+  | Lowest_med
+  | Lowest_neighbor
+
+let standard_pipeline =
+  [ Highest_local_pref; Shortest_as_path; Lowest_origin; Lowest_med;
+    Lowest_neighbor ]
+
+(* Keep the routes minimizing [key]. *)
+let keep_minimal key routes =
+  match routes with
+  | [] -> []
+  | _ ->
+      let best = List.fold_left (fun acc r -> min acc (key r)) max_int routes in
+      List.filter (fun r -> key r = best) routes
+
+let origin_rank (r : Route.t) =
+  match r.origin with Route.Igp -> 0 | Route.Egp -> 1 | Route.Incomplete -> 2
+
+let run_step step routes =
+  match step with
+  | Highest_local_pref -> keep_minimal (fun (r : Route.t) -> -r.local_pref) routes
+  | Shortest_as_path -> keep_minimal Route.path_length routes
+  | Lowest_origin -> keep_minimal origin_rank routes
+  | Lowest_med -> keep_minimal (fun (r : Route.t) -> r.med) routes
+  | Lowest_neighbor ->
+      keep_minimal (fun (r : Route.t) -> Asn.to_int r.next_hop) routes
+
+let best ?(pipeline = standard_pipeline) routes =
+  match List.fold_left (fun rs step -> run_step step rs) routes pipeline with
+  | [] -> None
+  | r :: _ -> Some r
+
+let rank routes =
+  let rec go remaining acc =
+    match best remaining with
+    | None -> List.rev acc
+    | Some winner ->
+        let rest = List.filter (fun r -> not (Route.equal r winner)) remaining in
+        go rest (winner :: acc)
+  in
+  go routes []

@@ -1,0 +1,31 @@
+(** The BGP best-route decision process.
+
+    §2.1: "An example would be an operator for selecting, from a given set
+    of routes, the routes with minimal AS path length (the second step in
+    BGP).  A pipeline of such operators, one for each attribute, makes up
+    the usual route selection process."  This module is that pipeline in its
+    ordinary, non-verifiable form; {!Pvr_rfg} re-expresses the same steps as
+    route-flow-graph operators. *)
+
+type step =
+  | Highest_local_pref
+  | Shortest_as_path
+  | Lowest_origin
+  | Lowest_med
+  | Lowest_neighbor
+      (** deterministic tie-break on the next-hop AS number *)
+
+val standard_pipeline : step list
+
+val run_step : step -> Route.t list -> Route.t list
+(** Keep only the routes surviving this step (never empties a non-empty
+    input). *)
+
+val best : ?pipeline:step list -> Route.t list -> Route.t option
+(** The single best route, or [None] on empty input.  The standard pipeline
+    always narrows to one route because [Lowest_neighbor] is a total
+    tie-break; a custom pipeline that does not narrow picks the first
+    survivor. *)
+
+val rank : Route.t list -> Route.t list
+(** All candidates, best first, by repeatedly extracting the winner. *)

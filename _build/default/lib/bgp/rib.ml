@@ -1,0 +1,66 @@
+type t = {
+  mutable adj_in : Route.t Prefix.Map.t Asn.Map.t;
+  mutable loc : Route.t Prefix.Map.t;
+  mutable adj_out : Route.t Prefix.Map.t Asn.Map.t;
+}
+
+let create () =
+  { adj_in = Asn.Map.empty; loc = Prefix.Map.empty; adj_out = Asn.Map.empty }
+
+let update_table table ~neighbor prefix route =
+  let per_prefix =
+    Option.value (Asn.Map.find_opt neighbor table) ~default:Prefix.Map.empty
+  in
+  let per_prefix =
+    match route with
+    | Some r -> Prefix.Map.add prefix r per_prefix
+    | None -> Prefix.Map.remove prefix per_prefix
+  in
+  Asn.Map.add neighbor per_prefix table
+
+let set_in t ~neighbor prefix route =
+  t.adj_in <- update_table t.adj_in ~neighbor prefix route
+
+let get_in t ~neighbor prefix =
+  Option.bind (Asn.Map.find_opt neighbor t.adj_in) (Prefix.Map.find_opt prefix)
+
+let candidates t prefix =
+  Asn.Map.fold
+    (fun _ per_prefix acc ->
+      match Prefix.Map.find_opt prefix per_prefix with
+      | Some r -> r :: acc
+      | None -> acc)
+    t.adj_in []
+
+let candidates_from t ~neighbors prefix =
+  List.filter_map (fun n -> get_in t ~neighbor:n prefix) neighbors
+
+let set_best t prefix route =
+  t.loc <-
+    (match route with
+    | Some r -> Prefix.Map.add prefix r t.loc
+    | None -> Prefix.Map.remove prefix t.loc)
+
+let get_best t prefix = Prefix.Map.find_opt prefix t.loc
+
+let set_out t ~neighbor prefix route =
+  t.adj_out <- update_table t.adj_out ~neighbor prefix route
+
+let get_out t ~neighbor prefix =
+  Option.bind (Asn.Map.find_opt neighbor t.adj_out) (Prefix.Map.find_opt prefix)
+
+let prefixes t =
+  let set = ref Prefix.Set.empty in
+  Asn.Map.iter
+    (fun _ per_prefix ->
+      Prefix.Map.iter (fun p _ -> set := Prefix.Set.add p !set) per_prefix)
+    t.adj_in;
+  Prefix.Map.iter (fun p _ -> set := Prefix.Set.add p !set) t.loc;
+  Prefix.Set.elements !set
+
+let in_neighbors t prefix =
+  Asn.Map.fold
+    (fun n per_prefix acc ->
+      if Prefix.Map.mem prefix per_prefix then n :: acc else acc)
+    t.adj_in []
+  |> List.rev

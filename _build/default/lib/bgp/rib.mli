@@ -1,0 +1,31 @@
+(** Routing information bases for one AS: Adj-RIB-In (per neighbor,
+    post-import-policy), Loc-RIB (best routes), Adj-RIB-Out (per neighbor,
+    post-export-policy). *)
+
+type t
+
+val create : unit -> t
+
+val set_in : t -> neighbor:Asn.t -> Prefix.t -> Route.t option -> unit
+(** Record the latest route from a neighbor for a prefix ([None] =
+    withdrawn). *)
+
+val get_in : t -> neighbor:Asn.t -> Prefix.t -> Route.t option
+
+val candidates : t -> Prefix.t -> Route.t list
+(** All Adj-RIB-In routes for the prefix (one per neighbor at most). *)
+
+val candidates_from : t -> neighbors:Asn.t list -> Prefix.t -> Route.t list
+(** Candidates restricted to a neighbor subset (promise #2 in §2). *)
+
+val set_best : t -> Prefix.t -> Route.t option -> unit
+val get_best : t -> Prefix.t -> Route.t option
+
+val set_out : t -> neighbor:Asn.t -> Prefix.t -> Route.t option -> unit
+val get_out : t -> neighbor:Asn.t -> Prefix.t -> Route.t option
+
+val prefixes : t -> Prefix.t list
+(** Every prefix with any Adj-RIB-In or Loc-RIB state, no duplicates. *)
+
+val in_neighbors : t -> Prefix.t -> Asn.t list
+(** Neighbors currently contributing a route for the prefix. *)

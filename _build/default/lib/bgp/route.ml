@@ -1,0 +1,74 @@
+module BU = Pvr_crypto.Bytes_util
+
+type origin = Igp | Egp | Incomplete
+
+type community = int * int
+
+type t = {
+  prefix : Prefix.t;
+  as_path : Asn.t list;
+  next_hop : Asn.t;
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : community list;
+}
+
+let default_local_pref = 100
+
+let originate ~asn prefix =
+  {
+    prefix;
+    as_path = [ asn ];
+    next_hop = asn;
+    local_pref = default_local_pref;
+    med = 0;
+    origin = Igp;
+    communities = [];
+  }
+
+let path_length r = List.length r.as_path
+
+let through asn r = List.exists (Asn.equal asn) r.as_path
+
+let has_loop asn r = through asn r
+
+let prepend asn r =
+  { r with as_path = asn :: r.as_path; next_hop = asn }
+
+let with_local_pref lp r = { r with local_pref = lp }
+let with_med med r = { r with med }
+
+let add_community c r =
+  if List.mem c r.communities then r
+  else { r with communities = c :: r.communities }
+
+let has_community c r = List.mem c r.communities
+
+let strip_private_attrs r = { r with local_pref = default_local_pref }
+
+let origin_code = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let encode r =
+  BU.encode_list
+    [
+      Prefix.to_string r.prefix;
+      BU.encode_list
+        (List.map (fun a -> BU.be32 (Asn.to_int a)) r.as_path);
+      BU.be32 (Asn.to_int r.next_hop);
+      BU.be32 r.local_pref;
+      BU.be32 r.med;
+      BU.be32 (origin_code r.origin);
+      BU.encode_list
+        (List.map (fun (a, v) -> BU.be32 a ^ BU.be32 v) r.communities);
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf "%a via [%s]" Prefix.pp r.prefix
+    (String.concat " " (List.map Asn.to_string r.as_path))
+
+let to_string r = Format.asprintf "%a" pp r
+
+let equal a b = encode a = encode b
+
+let compare a b = String.compare (encode a) (encode b)

@@ -1,0 +1,51 @@
+(** BGP routes: a prefix plus the path attributes the decision process and
+    the PVR operators inspect. *)
+
+type origin = Igp | Egp | Incomplete
+
+type community = int * int
+(** Classic 32-bit community, written [asn:value]. *)
+
+type t = {
+  prefix : Prefix.t;
+  as_path : Asn.t list;       (** nearest AS first; the origin AS is last *)
+  next_hop : Asn.t;           (** the neighbor the route was learned from *)
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : community list;
+}
+
+val originate : asn:Asn.t -> Prefix.t -> t
+(** The route an origin AS injects for its own prefix: empty-to-self path
+    semantics, [as_path = [asn]], default attributes. *)
+
+val path_length : t -> int
+
+val has_loop : Asn.t -> t -> bool
+(** Would importing this route at the given AS create an AS-path loop? *)
+
+val through : Asn.t -> t -> bool
+(** Does the AS path traverse the given AS? *)
+
+val prepend : Asn.t -> t -> t
+(** [prepend asn r] is the route as announced by [asn]: path extended at the
+    front.  [next_hop] becomes [asn]. *)
+
+val with_local_pref : int -> t -> t
+val with_med : int -> t -> t
+val add_community : community -> t -> t
+val has_community : community -> t -> bool
+val strip_private_attrs : t -> t
+(** What actually crosses an AS boundary: local-pref is meaningless to the
+    neighbor and reset to the default. *)
+
+val default_local_pref : int
+
+val encode : t -> string
+(** Injective byte encoding, used for signing and commitments. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,55 @@
+(** Event-driven path-vector (BGP-like) simulation.
+
+    Each AS holds a {!Rib.t}, an import policy per neighbor, and an export
+    policy per neighbor; on top of any custom policy the Gao–Rexford export
+    rule is enforced when the topology declares relationships.  Messages are
+    processed from a FIFO queue until convergence, which is guaranteed for
+    sensible policies because paths with loops are dropped on import.
+
+    The simulator supplies the *inputs* to PVR: Adj-RIB-In contents are what
+    network A receives from N1..Nk; the exported best routes are what B
+    observes.  A hook lets an experiment replace one AS's decision logic
+    with a Byzantine variant. *)
+
+type t
+
+type update = { src : Asn.t; dst : Asn.t; prefix : Prefix.t; route : Route.t option }
+(** [route = None] is a withdrawal. *)
+
+val create : Topology.t -> t
+
+val set_import_policy : t -> asn:Asn.t -> neighbor:Asn.t -> Policy.t -> unit
+val set_export_policy : t -> asn:Asn.t -> neighbor:Asn.t -> Policy.t -> unit
+
+val set_decision_override :
+  t -> asn:Asn.t -> (Prefix.t -> Route.t list -> Route.t option) -> unit
+(** Replace the standard decision process at one AS (used to inject
+    misbehaviour: the Byzantine A of §3). *)
+
+val set_gao_rexford : t -> bool -> unit
+(** Enforce the relationship-based export rule (default [true] when the
+    topology has relationship annotations; harmless for Peer-only graphs). *)
+
+val originate : t -> asn:Asn.t -> Prefix.t -> unit
+(** Inject a locally-originated prefix and enqueue the announcements. *)
+
+val withdraw_origin : t -> asn:Asn.t -> Prefix.t -> unit
+
+val run : ?max_messages:int -> t -> int
+(** Process queued messages to convergence; returns the number of messages
+    processed.  @raise Failure if [max_messages] (default 1_000_000) is
+    exceeded, which indicates a policy dispute (e.g. BAD GADGET). *)
+
+val rib : t -> Asn.t -> Rib.t
+(** The RIB of an AS (live reference). *)
+
+val best_route : t -> asn:Asn.t -> Prefix.t -> Route.t option
+
+val received_routes : t -> asn:Asn.t -> Prefix.t -> Route.t list
+(** Adj-RIB-In candidates at an AS (PVR's input variables r_1..r_k). *)
+
+val exported_route : t -> asn:Asn.t -> neighbor:Asn.t -> Prefix.t -> Route.t option
+(** What [asn] last sent [neighbor] (PVR's output variable r_o). *)
+
+val message_log : t -> update list
+(** All processed updates, oldest first (workload for E5 batching). *)

@@ -1,0 +1,145 @@
+type link = { a : Asn.t; b : Asn.t; rel_ab : Relationship.t }
+
+type t = {
+  nodes : Asn.Set.t;
+  (* adjacency: for each AS, each neighbor with what the neighbor is to it *)
+  adj : Relationship.t Asn.Map.t Asn.Map.t;
+}
+
+let empty = { nodes = Asn.Set.empty; adj = Asn.Map.empty }
+
+let add_as t asn = { t with nodes = Asn.Set.add asn t.nodes }
+
+let adj_find t x =
+  Option.value (Asn.Map.find_opt x t.adj) ~default:Asn.Map.empty
+
+let add_link t ~a ~b ~rel_ab =
+  if Asn.equal a b then invalid_arg "Topology.add_link: self-link";
+  if Asn.Map.mem b (adj_find t a) then
+    invalid_arg "Topology.add_link: duplicate link";
+  let adj =
+    t.adj
+    |> Asn.Map.add a (Asn.Map.add b rel_ab (adj_find t a))
+    |> fun adj ->
+    let from_b =
+      Option.value (Asn.Map.find_opt b adj) ~default:Asn.Map.empty
+    in
+    Asn.Map.add b (Asn.Map.add a (Relationship.invert rel_ab) from_b) adj
+  in
+  { nodes = Asn.Set.add a (Asn.Set.add b t.nodes); adj }
+
+let ases t = Asn.Set.elements t.nodes
+
+let links t =
+  Asn.Map.fold
+    (fun a per_n acc ->
+      Asn.Map.fold
+        (fun b rel acc ->
+          if Asn.compare a b < 0 then { a; b; rel_ab = rel } :: acc else acc)
+        per_n acc)
+    t.adj []
+  |> List.rev
+
+let neighbors t x = Asn.Map.bindings (adj_find t x)
+
+let relationship t x y = Asn.Map.find_opt y (adj_find t x)
+
+let size t = Asn.Set.cardinal t.nodes
+
+let degree t x = Asn.Map.cardinal (adj_find t x)
+
+let star ~center ~leaves ~rel =
+  List.fold_left
+    (fun t leaf -> add_link t ~a:center ~b:leaf ~rel_ab:rel)
+    (add_as empty center) leaves
+
+let chain ases =
+  let rec go t = function
+    | a :: (b :: _ as rest) ->
+        go (add_link t ~a ~b ~rel_ab:Relationship.Customer) rest
+    | [ a ] -> add_as t a
+    | [] -> t
+  in
+  go empty ases
+
+let clique ases =
+  let rec go t = function
+    | [] -> t
+    | a :: rest ->
+        let t =
+          List.fold_left
+            (fun t b -> add_link t ~a ~b ~rel_ab:Relationship.Peer)
+            (add_as t a) rest
+        in
+        go t rest
+  in
+  go empty ases
+
+let hierarchy rng ~tiers ~extra_peering =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    Asn.of_int !next
+  in
+  let tier_nodes = List.map (fun n -> Array.init n (fun _ -> fresh ())) tiers in
+  let t = ref empty in
+  List.iter (fun nodes -> Array.iter (fun a -> t := add_as !t a) nodes) tier_nodes;
+  (* Tier-1 clique of peers. *)
+  (match tier_nodes with
+  | top :: _ ->
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if j > i then t := add_link !t ~a ~b ~rel_ab:Relationship.Peer)
+            top)
+        top
+  | [] -> ());
+  (* Each lower-tier AS picks 1-2 providers in the tier above. *)
+  let rec wire = function
+    | upper :: (lower :: _ as rest) ->
+        Array.iter
+          (fun a ->
+            let nproviders = 1 + Pvr_crypto.Drbg.uniform_int rng 2 in
+            let chosen = ref Asn.Set.empty in
+            for _ = 1 to nproviders do
+              let p = Pvr_crypto.Drbg.pick rng upper in
+              if not (Asn.Set.mem p !chosen) then begin
+                chosen := Asn.Set.add p !chosen;
+                (* p is a's provider *)
+                t := add_link !t ~a ~b:p ~rel_ab:Relationship.Provider
+              end
+            done)
+          lower;
+        wire rest
+    | _ -> ()
+  in
+  wire tier_nodes;
+  (* Optional same-tier peering below tier 1. *)
+  (match tier_nodes with
+  | _ :: lower_tiers ->
+      List.iter
+        (fun nodes ->
+          Array.iteri
+            (fun i a ->
+              Array.iteri
+                (fun j b ->
+                  if
+                    j > i
+                    && Pvr_crypto.Drbg.uniform_int rng 1000
+                       < int_of_float (extra_peering *. 1000.)
+                    && relationship !t a b = None
+                  then t := add_link !t ~a ~b ~rel_ab:Relationship.Peer)
+                nodes)
+            nodes)
+        lower_tiers
+  | [] -> ());
+  !t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d ASes, %d links@," (size t) (List.length (links t));
+  List.iter
+    (fun { a; b; rel_ab } ->
+      Format.fprintf ppf "%a -[%a]- %a@," Asn.pp a Relationship.pp rel_ab Asn.pp b)
+    (links t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** AS-level topologies: the graph of ASes and inter-AS links annotated with
+    business relationships, plus the synthetic generators used by the
+    experiments (operational topologies being unavailable, per DESIGN.md). *)
+
+type link = {
+  a : Asn.t;
+  b : Asn.t;
+  rel_ab : Relationship.t;  (** what [b] is to [a], e.g. [Customer] = b pays a *)
+}
+
+type t
+
+val empty : t
+val add_as : t -> Asn.t -> t
+val add_link : t -> a:Asn.t -> b:Asn.t -> rel_ab:Relationship.t -> t
+(** Adds both endpoints if absent.  @raise Invalid_argument on self-links or
+    duplicate links. *)
+
+val ases : t -> Asn.t list
+val links : t -> link list
+val neighbors : t -> Asn.t -> (Asn.t * Relationship.t) list
+(** Each neighbor with what *it* is to the queried AS. *)
+
+val relationship : t -> Asn.t -> Asn.t -> Relationship.t option
+(** [relationship t x y]: what [y] is to [x], if linked. *)
+
+val size : t -> int
+val degree : t -> Asn.t -> int
+
+(** {2 Generators} *)
+
+val star : center:Asn.t -> leaves:Asn.t list -> rel:Relationship.t -> t
+(** Figure 1: one AS [A] connected to N1..Nk and B.  [rel] is what each leaf
+    is to the center. *)
+
+val chain : Asn.t list -> t
+(** A provider chain: each AS is the provider of the next. *)
+
+val clique : Asn.t list -> t
+(** Full mesh of peers. *)
+
+val hierarchy :
+  Pvr_crypto.Drbg.t ->
+  tiers:int list ->
+  extra_peering:float ->
+  t
+(** Gao–Rexford-style hierarchy: [tiers] gives the number of ASes per tier,
+    top first.  Tier-1 ASes form a peering clique; every lower-tier AS gets
+    1–2 providers in the tier above; [extra_peering] is the probability of a
+    peering link between same-tier ASes.  AS numbers are assigned 1..n from
+    the top. *)
+
+val pp : Format.formatter -> t -> unit

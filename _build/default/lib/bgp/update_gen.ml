@@ -1,0 +1,57 @@
+type event = { at_ms : int; route : Route.t }
+
+let random_route rng ~origin =
+  let prefix = Prefix.random rng in
+  let hops = 1 + Pvr_crypto.Drbg.uniform_int rng 5 in
+  let path =
+    List.init hops (fun i ->
+        if i = hops - 1 then origin
+        else Asn.of_int (64512 + Pvr_crypto.Drbg.uniform_int rng 1000))
+  in
+  let base = Route.originate ~asn:origin prefix in
+  let r = { base with Route.as_path = path } in
+  match path with [] -> r | hd :: _ -> { r with Route.next_hop = hd }
+
+(* Truncated geometric: mean ~ [mean], capped at 8x mean. *)
+let geometric rng mean =
+  if mean <= 1 then 1
+  else begin
+    let p = 1.0 /. float_of_int mean in
+    let cap = 8 * mean in
+    let rec go n =
+      if n >= cap then cap
+      else if Pvr_crypto.Drbg.uniform_int rng 1_000_000 < int_of_float (p *. 1_000_000.) then n
+      else go (n + 1)
+    in
+    go 1
+  end
+
+let bursty rng ~duration_ms ~base_rate_per_s ~burst_every_ms ~burst_size_mean
+    ~origin =
+  let events = ref [] in
+  (* Background traffic: Bernoulli per millisecond. *)
+  let per_ms = base_rate_per_s /. 1000.0 in
+  let threshold = int_of_float (per_ms *. 1_000_000.) in
+  for ms = 0 to duration_ms - 1 do
+    if Pvr_crypto.Drbg.uniform_int rng 1_000_000 < threshold then
+      events := { at_ms = ms; route = random_route rng ~origin } :: !events;
+    if burst_every_ms > 0 && ms mod burst_every_ms = 0 && ms > 0 then begin
+      let n = geometric rng burst_size_mean in
+      for _ = 1 to n do
+        events := { at_ms = ms; route = random_route rng ~origin } :: !events
+      done
+    end
+  done;
+  List.stable_sort (fun a b -> Int.compare a.at_ms b.at_ms) (List.rev !events)
+
+let batches ~window_ms events =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let w = e.at_ms / window_ms in
+      let cur = Option.value (Hashtbl.find_opt table w) ~default:[] in
+      Hashtbl.replace table w (e.route :: cur))
+    events;
+  Hashtbl.fold (fun w routes acc -> (w, List.rev routes) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd

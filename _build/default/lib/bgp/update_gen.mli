@@ -1,0 +1,24 @@
+(** Synthetic BGP update workloads.
+
+    §3.8 worries about signing cost "during BGP message bursts"; operational
+    update traces are not available in this environment, so experiment E5
+    drives the batching bench with bursty synthetic traces: quiet periods of
+    single updates interleaved with bursts (as after a session reset or a
+    flap), with burst sizes drawn from a truncated geometric distribution. *)
+
+type event = { at_ms : int; route : Route.t }
+
+val bursty :
+  Pvr_crypto.Drbg.t ->
+  duration_ms:int ->
+  base_rate_per_s:float ->
+  burst_every_ms:int ->
+  burst_size_mean:int ->
+  origin:Asn.t ->
+  event list
+(** Events sorted by timestamp.  Routes are announcements of random prefixes
+    with short random paths ending at [origin]. *)
+
+val batches : window_ms:int -> event list -> Route.t list list
+(** Group a trace into signing batches by fixed time window; empty windows
+    are dropped. *)

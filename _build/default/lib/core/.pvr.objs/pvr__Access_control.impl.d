@@ -1,0 +1,1 @@
+lib/core/access_control.ml: List Pvr_bgp Pvr_rfg Set Stdlib

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Judge Keyring List Option Proto_common Proto_min Pvr_bgp Pvr_crypto Wire

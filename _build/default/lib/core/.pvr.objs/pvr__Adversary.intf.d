@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Judge Keyring Proto_common Pvr_bgp Pvr_crypto Wire

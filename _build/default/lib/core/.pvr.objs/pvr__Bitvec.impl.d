@@ -1,0 +1,1 @@
+lib/core/bitvec.ml: Array List Pvr_crypto Pvr_merkle String

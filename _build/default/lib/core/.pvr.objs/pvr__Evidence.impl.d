@@ -1,0 +1,1 @@
+lib/core/evidence.ml: Printf Pvr_bgp Pvr_crypto Pvr_merkle Wire

@@ -1,0 +1,1 @@
+lib/core/evidence.mli: Pvr_bgp Pvr_crypto Pvr_merkle Wire

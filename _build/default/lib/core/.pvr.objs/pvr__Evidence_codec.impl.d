@@ -1,0 +1,1 @@
+lib/core/evidence_codec.ml: Evidence List Option Pvr_bgp Pvr_crypto Pvr_merkle String Wire

@@ -1,0 +1,1 @@
+lib/core/evidence_codec.mli: Evidence

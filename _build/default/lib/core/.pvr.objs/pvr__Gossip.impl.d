@@ -1,0 +1,1 @@
+lib/core/gossip.ml: Evidence Keyring List Map Option Pvr_bgp Stdlib Wire

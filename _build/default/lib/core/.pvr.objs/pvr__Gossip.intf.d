@@ -1,0 +1,1 @@
+lib/core/gossip.mli: Evidence Keyring Pvr_bgp Wire

@@ -1,0 +1,1 @@
+lib/core/judge.ml: Evidence Format Int List Option Proto_common Proto_graph Proto_no_shorter Pvr_bgp Pvr_crypto String Wire

@@ -1,0 +1,1 @@
+lib/core/judge.mli: Evidence Format Keyring Pvr_bgp Pvr_crypto Wire

@@ -1,0 +1,1 @@
+lib/core/keyring.ml: List Pvr_bgp Pvr_crypto

@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Format List Pvr_bgp

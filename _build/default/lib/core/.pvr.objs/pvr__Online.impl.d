@@ -1,0 +1,1 @@
+lib/core/online.ml: Adversary Gossip Judge Keyring List Option Proto_common Proto_min Pvr_bgp Pvr_crypto Runner String Wire

@@ -1,0 +1,1 @@
+lib/core/online.mli: Keyring Pvr_bgp Pvr_crypto Runner Wire

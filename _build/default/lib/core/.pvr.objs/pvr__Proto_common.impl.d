@@ -1,0 +1,1 @@
+lib/core/proto_common.ml: Evidence List Pvr_bgp Pvr_crypto Wire

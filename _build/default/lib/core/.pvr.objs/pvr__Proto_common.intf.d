@@ -1,0 +1,1 @@
+lib/core/proto_common.mli: Evidence Keyring Pvr_bgp Pvr_crypto Wire

@@ -1,0 +1,1 @@
+lib/core/proto_exists.ml: Array Evidence Keyring List Printf Proto_common Pvr_bgp Pvr_crypto Wire

@@ -1,0 +1,1 @@
+lib/core/proto_graph.ml: Access_control Array Evidence Keyring List Option Printf Proto_common Pvr_bgp Pvr_crypto Pvr_merkle Pvr_rfg String Wire

@@ -1,0 +1,1 @@
+lib/core/proto_graph.mli: Access_control Evidence Keyring Pvr_bgp Pvr_crypto Pvr_merkle Pvr_rfg Wire

@@ -1,0 +1,1 @@
+lib/core/proto_min.ml: Evidence Int List Option Proto_common Pvr_bgp Pvr_crypto Wire

@@ -1,0 +1,1 @@
+lib/core/proto_min.mli: Evidence Keyring Proto_common Pvr_bgp Pvr_crypto Wire

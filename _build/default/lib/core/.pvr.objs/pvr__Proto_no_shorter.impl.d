@@ -1,0 +1,1 @@
+lib/core/proto_no_shorter.ml: Evidence List Option Proto_common Proto_min Pvr_bgp Pvr_crypto String Wire

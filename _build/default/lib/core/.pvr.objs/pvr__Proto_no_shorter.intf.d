@@ -1,0 +1,1 @@
+lib/core/proto_no_shorter.mli: Evidence Keyring Proto_common Pvr_bgp Pvr_crypto Wire

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Access_control Adversary Evidence Gossip Judge List Option Proto_graph Proto_min Pvr_bgp Pvr_crypto Pvr_rfg String Wire

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Adversary Evidence Judge Keyring Pvr_bgp Pvr_crypto Pvr_rfg Wire

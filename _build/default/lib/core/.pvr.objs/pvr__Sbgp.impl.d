@@ -1,0 +1,1 @@
+lib/core/sbgp.ml: List Pvr_bgp Pvr_crypto Wire

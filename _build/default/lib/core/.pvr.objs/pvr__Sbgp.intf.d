@@ -1,0 +1,1 @@
+lib/core/sbgp.mli: Keyring Pvr_bgp Wire

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Keyring List Option Pvr_bgp Pvr_crypto String

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Keyring Pvr_bgp Pvr_crypto

@@ -1,0 +1,298 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+open Proto_common
+
+type behaviour =
+  | Honest
+  | Export_nonminimal
+  | False_bits
+  | Equivocate
+  | Suppress_export
+  | Refuse_disclosure
+  | Forge_provenance
+
+let all =
+  [ Honest; Export_nonminimal; False_bits; Equivocate; Suppress_export;
+    Refuse_disclosure; Forge_provenance ]
+
+let to_string = function
+  | Honest -> "honest"
+  | Export_nonminimal -> "export-nonminimal"
+  | False_bits -> "false-bits"
+  | Equivocate -> "equivocate"
+  | Suppress_export -> "suppress-export"
+  | Refuse_disclosure -> "refuse-disclosure"
+  | Forge_provenance -> "forge-provenance"
+
+type min_run = {
+  commit_for : Bgp.Asn.t -> Wire.commit Wire.signed;
+  neighbor_disclosures :
+    (Bgp.Asn.t * Proto_common.neighbor_disclosure option) list;
+  beneficiary_disclosure : Proto_common.beneficiary_disclosure;
+  respond : accused:Bgp.Asn.t -> Judge.challenge -> Judge.response;
+}
+
+let path_len (ann : Wire.announce Wire.signed) =
+  Bgp.Route.path_length ann.Wire.payload.Wire.ann_route
+
+(* Build a full commitment set for a claimed shortest length. *)
+let build_commitments rng keyring ~prover ~epoch ~prefix ~k ~claimed_shortest =
+  let bits = List.init k (fun i -> claimed_shortest <= i + 1) in
+  let committed = List.map (C.Commitment.commit_bit rng) bits in
+  let commit =
+    Wire.sign keyring ~as_:prover ~encode:Wire.encode_commit
+      {
+        Wire.cmt_epoch = epoch;
+        cmt_prefix = prefix;
+        cmt_scheme = Proto_min.scheme;
+        cmt_commitments =
+          List.map
+            (fun ((c : C.Commitment.commitment), _) -> (c :> string))
+            committed;
+      }
+  in
+  (commit, List.map snd committed)
+
+let sign_export keyring ~prover ~epoch ~beneficiary ~route ~provenance =
+  Wire.sign keyring ~as_:prover ~encode:Wire.encode_export
+    {
+      Wire.exp_epoch = epoch;
+      exp_to = beneficiary;
+      exp_route = route;
+      exp_provenance = provenance;
+    }
+
+let run_min behaviour ?(max_path_len = Proto_min.default_max_path_len) rng
+    keyring ~prover ~beneficiary ~epoch ~prefix ~inputs =
+  let inputs =
+    List.filter
+      (fun ann ->
+        valid_input keyring ~prover ~epoch ~prefix ann
+        && path_len ann <= max_path_len)
+      inputs
+  in
+  let k = max_path_len in
+  let shortest =
+    List.fold_left (fun acc a -> min acc (path_len a)) max_int inputs
+  in
+  let longest = List.fold_left (fun acc a -> max acc (path_len a)) 0 inputs in
+  let winner = List.find_opt (fun a -> path_len a = shortest) inputs in
+  let loser = List.find_opt (fun a -> path_len a = longest) inputs in
+  let honest_commit, honest_openings =
+    build_commitments rng keyring ~prover ~epoch ~prefix ~k
+      ~claimed_shortest:shortest
+  in
+  let opening_at openings i = List.nth openings (i - 1) in
+  let honest_neighbor_disclosures =
+    List.map
+      (fun ann ->
+        ( ann.Wire.signer,
+          Some
+            {
+              nd_index = path_len ann;
+              nd_opening = opening_at honest_openings (path_len ann);
+            } ))
+      inputs
+  in
+  let honest_export =
+    Option.map
+      (fun (chosen : Wire.announce Wire.signed) ->
+        sign_export keyring ~prover ~epoch ~beneficiary
+          ~route:chosen.Wire.payload.Wire.ann_route ~provenance:(Some chosen))
+      winner
+  in
+  let all_openings openings = List.mapi (fun i o -> (i + 1, o)) openings in
+  let honest_respond ~accused:_ = function
+    | Judge.Produce_export _ -> begin
+        match honest_export with
+        | Some e -> Judge.Export_response e
+        | None -> Judge.No_response
+      end
+    | Judge.Produce_opening { index; _ } ->
+        if index >= 1 && index <= k then
+          Judge.Opening_response (opening_at honest_openings index)
+        else Judge.No_response
+  in
+  match behaviour with
+  | Honest ->
+      {
+        commit_for = (fun _ -> honest_commit);
+        neighbor_disclosures = honest_neighbor_disclosures;
+        beneficiary_disclosure =
+          {
+            bd_openings = all_openings honest_openings;
+            bd_export = honest_export;
+          };
+        respond = honest_respond;
+      }
+  | Export_nonminimal ->
+      (* Honest bits, but ship the longest route to B. *)
+      let export =
+        Option.map
+          (fun (chosen : Wire.announce Wire.signed) ->
+            sign_export keyring ~prover ~epoch ~beneficiary
+              ~route:chosen.Wire.payload.Wire.ann_route
+              ~provenance:(Some chosen))
+          loser
+      in
+      {
+        commit_for = (fun _ -> honest_commit);
+        neighbor_disclosures = honest_neighbor_disclosures;
+        beneficiary_disclosure =
+          { bd_openings = all_openings honest_openings; bd_export = export };
+        respond = honest_respond;
+      }
+  | False_bits ->
+      (* Commit bits pretending the longest route is the shortest, and
+         export the longest.  Internally consistent for B; providers with
+         shorter routes see their bit open to 0. *)
+      let lying_commit, lying_openings =
+        build_commitments rng keyring ~prover ~epoch ~prefix ~k
+          ~claimed_shortest:longest
+      in
+      let neighbor_disclosures =
+        List.map
+          (fun ann ->
+            ( ann.Wire.signer,
+              Some
+                {
+                  nd_index = path_len ann;
+                  nd_opening = opening_at lying_openings (path_len ann);
+                } ))
+          inputs
+      in
+      let export =
+        Option.map
+          (fun (chosen : Wire.announce Wire.signed) ->
+            sign_export keyring ~prover ~epoch ~beneficiary
+              ~route:chosen.Wire.payload.Wire.ann_route
+              ~provenance:(Some chosen))
+          loser
+      in
+      {
+        commit_for = (fun _ -> lying_commit);
+        neighbor_disclosures;
+        beneficiary_disclosure =
+          { bd_openings = all_openings lying_openings; bd_export = export };
+        respond =
+          (fun ~accused:_ -> function
+            | Judge.Produce_export _ -> begin
+                match export with
+                | Some e -> Judge.Export_response e
+                | None -> Judge.No_response
+              end
+            | Judge.Produce_opening { index; _ } ->
+                if index >= 1 && index <= k then
+                  Judge.Opening_response (opening_at lying_openings index)
+                else Judge.No_response);
+      }
+  | Equivocate ->
+      (* Providers see the truthful commitment; B sees a lying one paired
+         with a consistent (longest) export.  Each party's local view is
+         self-consistent; only gossip reveals the split. *)
+      let lying_commit, lying_openings =
+        build_commitments rng keyring ~prover ~epoch ~prefix ~k
+          ~claimed_shortest:longest
+      in
+      let export =
+        Option.map
+          (fun (chosen : Wire.announce Wire.signed) ->
+            sign_export keyring ~prover ~epoch ~beneficiary
+              ~route:chosen.Wire.payload.Wire.ann_route
+              ~provenance:(Some chosen))
+          loser
+      in
+      {
+        commit_for =
+          (fun who ->
+            if Bgp.Asn.equal who beneficiary then lying_commit
+            else honest_commit);
+        neighbor_disclosures = honest_neighbor_disclosures;
+        beneficiary_disclosure =
+          { bd_openings = all_openings lying_openings; bd_export = export };
+        respond = honest_respond;
+      }
+  | Suppress_export ->
+      {
+        commit_for = (fun _ -> honest_commit);
+        neighbor_disclosures = honest_neighbor_disclosures;
+        beneficiary_disclosure =
+          {
+            bd_openings = all_openings honest_openings;
+            bd_export = None;
+          };
+        respond = (fun ~accused:_ _ -> Judge.No_response);
+      }
+  | Refuse_disclosure ->
+      (* Withhold the opening from the first providing neighbor. *)
+      let neighbor_disclosures =
+        match honest_neighbor_disclosures with
+        | (victim, _) :: rest -> (victim, None) :: rest
+        | [] -> []
+      in
+      {
+        commit_for = (fun _ -> honest_commit);
+        neighbor_disclosures;
+        beneficiary_disclosure =
+          {
+            bd_openings = all_openings honest_openings;
+            bd_export = honest_export;
+          };
+        respond = (fun ~accused:_ _ -> Judge.No_response);
+      }
+  | Forge_provenance ->
+      (* Export a fabricated route of minimal length whose provenance
+         announcement carries a bogus signature. *)
+      let route =
+        let asn_fake = Bgp.Asn.of_int 65000 in
+        let path =
+          List.init (max shortest 1) (fun i ->
+              if i = 0 then asn_fake else Bgp.Asn.of_int (65001 + i))
+        in
+        let base = Bgp.Route.originate ~asn:asn_fake prefix in
+        { base with Bgp.Route.as_path = path; next_hop = asn_fake }
+      in
+      let forged_announce =
+        (* Signed by the adversary itself while claiming another signer:
+           the signature can never verify against the claimed key. *)
+        let key = Keyring.private_key keyring prover in
+        Wire.sign_with key ~as_:(Bgp.Asn.of_int 65000)
+          ~encode:Wire.encode_announce
+          { Wire.ann_epoch = epoch; ann_to = prover; ann_route = route }
+      in
+      let export =
+        Some
+          (sign_export keyring ~prover ~epoch ~beneficiary ~route
+             ~provenance:(Some forged_announce))
+      in
+      {
+        commit_for = (fun _ -> honest_commit);
+        neighbor_disclosures = honest_neighbor_disclosures;
+        beneficiary_disclosure =
+          { bd_openings = all_openings honest_openings; bd_export = export };
+        respond = honest_respond;
+      }
+
+type detector = Beneficiary | Provider of Bgp.Asn.t | Gossip
+
+let expected_detectors behaviour ~inputs =
+  let shortest =
+    List.fold_left (fun acc (_, l) -> min acc l) max_int inputs
+  in
+  let longest = List.fold_left (fun acc (_, l) -> max acc l) 0 inputs in
+  match behaviour with
+  | Honest -> []
+  | Export_nonminimal ->
+      (* Detectable by B iff a strictly shorter input than the exported
+         (longest) one exists. *)
+      if shortest < longest then [ Beneficiary ] else []
+  | False_bits ->
+      List.filter_map
+        (fun (n, l) -> if l < longest then Some (Provider n) else None)
+        inputs
+  | Equivocate -> if shortest < longest then [ Gossip ] else []
+  | Suppress_export -> if inputs <> [] then [ Beneficiary ] else []
+  | Refuse_disclosure -> begin
+      match inputs with (n, _) :: _ -> [ Provider n ] | [] -> []
+    end
+  | Forge_provenance -> [ Beneficiary ]

@@ -1,0 +1,39 @@
+(** Bit-vector commitment strategies — the DESIGN.md §5 ablation.
+
+    §3.3 commits each threshold bit b_1..b_k separately, so the published
+    commitment grows linearly in k (32 bytes per bit) while each disclosure
+    is a single constant-size opening.  The alternative is to hang the k
+    per-bit commitments under one Merkle tree and publish only the root:
+    the published size becomes constant, and each disclosure pays an extra
+    ⌈log₂ k⌉ sibling digests.  Experiment E5's ablation measures both.
+
+    Either way each bit keeps its own hiding nonce, so opening one bit
+    reveals nothing about the others. *)
+
+type strategy = Per_bit | Merkle_vector
+
+val strategy_to_string : strategy -> string
+
+type t
+(** Prover-side state (bits, nonces, tree). *)
+
+type published = string list
+(** What A publishes in its signed commit message: k digests for [Per_bit],
+    a single root for [Merkle_vector]. *)
+
+type bit_proof
+(** An opening of one bit, with its Merkle path under [Merkle_vector]. *)
+
+val commit : Pvr_crypto.Drbg.t -> strategy -> bool list -> t * published
+
+val published_bytes : published -> int
+
+val open_bit : t -> int -> bit_proof
+(** 1-based. @raise Invalid_argument if out of range. *)
+
+val proof_bytes : bit_proof -> int
+
+val verify_bit :
+  strategy -> published -> k:int -> index:int -> bit_proof -> bool option
+(** [Some b] if the proof validly opens bit [index] of the published
+    commitment to [b]; [None] otherwise. *)

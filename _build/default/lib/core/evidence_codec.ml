@@ -1,0 +1,306 @@
+module C = Pvr_crypto
+module BU = Pvr_crypto.Bytes_util
+module Merkle = Pvr_merkle.Merkle_tree
+module Prefix_tree = Pvr_merkle.Prefix_tree
+
+let ( let* ) = Option.bind
+
+(* ---- primitives ---------------------------------------------------------- *)
+
+let enc_list = BU.encode_list
+
+let dec_list s =
+  let read_u32 pos =
+    if pos + 4 > String.length s then None
+    else Some (BU.read_be32 s pos, pos + 4)
+  in
+  match read_u32 0 with
+  | None -> None
+  | Some (count, pos) when count >= 0 && count <= String.length s ->
+      let rec items n pos acc =
+        if n = 0 then
+          if pos = String.length s then Some (List.rev acc) else None
+        else
+          match read_u32 pos with
+          | None -> None
+          | Some (len, pos) ->
+              if len < 0 || pos + len > String.length s then None
+              else items (n - 1) (pos + len) (String.sub s pos len :: acc)
+      in
+      items count pos []
+  | Some _ -> None
+
+let enc_int n = BU.be32 n
+
+let dec_int s = if String.length s = 4 then Some (BU.read_be32 s 0) else None
+
+let enc_opening (o : C.Commitment.opening) =
+  enc_list [ o.C.Commitment.value; o.C.Commitment.nonce ]
+
+let dec_opening s =
+  match dec_list s with
+  | Some [ value; nonce ] -> Some { C.Commitment.value; nonce }
+  | _ -> None
+
+let enc_option enc = function
+  | None -> enc_list [ "0" ]
+  | Some x -> enc_list [ "1"; enc x ]
+
+let dec_option dec s =
+  match dec_list s with
+  | Some [ "0" ] -> Some None
+  | Some [ "1"; x ] -> Option.map (fun v -> Some v) (dec x)
+  | _ -> None
+
+let enc_indexed_openings openings =
+  enc_list (List.map (fun (i, o) -> enc_list [ enc_int i; enc_opening o ]) openings)
+
+let dec_indexed_openings s =
+  let* items = dec_list s in
+  List.fold_right
+    (fun item acc ->
+      let* acc = acc in
+      let* parts = dec_list item in
+      match parts with
+      | [ i; o ] ->
+          let* i = dec_int i in
+          let* o = dec_opening o in
+          Some ((i, o) :: acc)
+      | _ -> None)
+    items (Some [])
+
+let enc_signed_announce = Wire.encode_signed ~encode:Wire.encode_announce
+let dec_signed_announce = Wire.decode_signed ~decode:Wire.decode_announce
+let enc_signed_commit = Wire.encode_signed ~encode:Wire.encode_commit
+let dec_signed_commit = Wire.decode_signed ~decode:Wire.decode_commit
+let enc_signed_export = Wire.encode_signed ~encode:Wire.encode_export
+let dec_signed_export = Wire.decode_signed ~decode:Wire.decode_export
+
+(* ---- graph pieces --------------------------------------------------------- *)
+
+let enc_component (c : Evidence.graph_component) =
+  enc_list [ c.Evidence.gc_raw; enc_opening c.Evidence.gc_opening ]
+
+let dec_component s =
+  let* parts = dec_list s in
+  match parts with
+  | [ gc_raw; o ] ->
+      let* gc_opening = dec_opening o in
+      Some { Evidence.gc_raw; gc_opening }
+  | _ -> None
+
+let enc_disclosure (d : Evidence.graph_disclosure) =
+  enc_list
+    [
+      d.Evidence.gd_vertex;
+      d.Evidence.gd_leaf;
+      Prefix_tree.encode_proof d.Evidence.gd_proof;
+      enc_option enc_component d.Evidence.gd_preds;
+      enc_option enc_component d.Evidence.gd_succs;
+      enc_option enc_component d.Evidence.gd_payload;
+      enc_indexed_openings d.Evidence.gd_bits;
+    ]
+
+let dec_disclosure s =
+  let* parts = dec_list s in
+  match parts with
+  | [ gd_vertex; gd_leaf; proof; preds; succs; payload; bits ] ->
+      let* gd_proof = Prefix_tree.decode_proof proof in
+      let* gd_preds = dec_option dec_component preds in
+      let* gd_succs = dec_option dec_component succs in
+      let* gd_payload = dec_option dec_component payload in
+      let* gd_bits = dec_indexed_openings bits in
+      Some
+        {
+          Evidence.gd_vertex;
+          gd_leaf;
+          gd_proof;
+          gd_preds;
+          gd_succs;
+          gd_payload;
+          gd_bits;
+        }
+  | _ -> None
+
+let enc_offence (o : Evidence.graph_offence) =
+  match o with
+  | Evidence.Wrong_input_value { var; witness } ->
+      enc_list [ "wrong-input"; var; enc_signed_announce witness ]
+  | Evidence.False_evidence_bit { op; index; witness } ->
+      enc_list [ "false-bit"; op; enc_int index; enc_signed_announce witness ]
+  | Evidence.Output_evidence_mismatch { out_var; op; detail } ->
+      enc_list [ "output-mismatch"; out_var; op; detail ]
+  | Evidence.Export_not_committed { out_var; export } ->
+      enc_list [ "export-uncommitted"; out_var; enc_signed_export export ]
+
+let dec_offence s =
+  let* parts = dec_list s in
+  match parts with
+  | [ "wrong-input"; var; witness ] ->
+      let* witness = dec_signed_announce witness in
+      Some (Evidence.Wrong_input_value { var; witness })
+  | [ "false-bit"; op; index; witness ] ->
+      let* index = dec_int index in
+      let* witness = dec_signed_announce witness in
+      Some (Evidence.False_evidence_bit { op; index; witness })
+  | [ "output-mismatch"; out_var; op; detail ] ->
+      Some (Evidence.Output_evidence_mismatch { out_var; op; detail })
+  | [ "export-uncommitted"; out_var; export ] ->
+      let* export = dec_signed_export export in
+      Some (Evidence.Export_not_committed { out_var; export })
+  | _ -> None
+
+(* ---- top level ------------------------------------------------------------- *)
+
+let encode (e : Evidence.t) =
+  match e with
+  | Evidence.Equivocation { first; second } ->
+      enc_list [ "equivocation"; enc_signed_commit first; enc_signed_commit second ]
+  | Evidence.False_bit { commit; index; opening; witness } ->
+      enc_list
+        [
+          "false-bit"; enc_signed_commit commit; enc_int index;
+          enc_opening opening; enc_signed_announce witness;
+        ]
+  | Evidence.Non_monotonic_bits
+      { commit; set_index; set_opening; unset_index; unset_opening } ->
+      enc_list
+        [
+          "non-monotonic"; enc_signed_commit commit; enc_int set_index;
+          enc_opening set_opening; enc_int unset_index;
+          enc_opening unset_opening;
+        ]
+  | Evidence.Nonminimal_export { commit; export; index; opening } ->
+      enc_list
+        [
+          "nonminimal"; enc_signed_commit commit; enc_signed_export export;
+          enc_int index; enc_opening opening;
+        ]
+  | Evidence.Unsupported_export { commit; export; openings } ->
+      enc_list
+        [
+          "unsupported"; enc_signed_commit commit; enc_signed_export export;
+          enc_indexed_openings openings;
+        ]
+  | Evidence.Bad_provenance { export } ->
+      enc_list [ "bad-provenance"; enc_signed_export export ]
+  | Evidence.Missing_export_claim { commit; openings; claimant } ->
+      enc_list
+        [
+          "missing-export"; enc_signed_commit commit;
+          enc_indexed_openings openings;
+          enc_int (Pvr_bgp.Asn.to_int claimant);
+        ]
+  | Evidence.Missing_disclosure_claim { commit; announce; claimant } ->
+      enc_list
+        [
+          "missing-disclosure"; enc_signed_commit commit;
+          enc_signed_announce announce;
+          enc_int (Pvr_bgp.Asn.to_int claimant);
+        ]
+  | Evidence.Graph_violation { commit; disclosures; offence } ->
+      enc_list
+        [
+          "graph"; enc_signed_commit commit;
+          enc_list (List.map enc_disclosure disclosures);
+          enc_offence offence;
+        ]
+  | Evidence.Cross_shorter_export { commit; my_export; other_block; opening } ->
+      enc_list
+        [
+          "cross-shorter"; enc_signed_commit commit;
+          enc_signed_export my_export; enc_int other_block;
+          enc_opening opening;
+        ]
+  | Evidence.Own_vector_mismatch { commit; my_export; bit_index; opening } ->
+      enc_list
+        [
+          "own-vector"; enc_signed_commit commit; enc_signed_export my_export;
+          enc_int bit_index; enc_opening opening;
+        ]
+
+let decode s =
+  let* parts = dec_list s in
+  match parts with
+  | [ "equivocation"; first; second ] ->
+      let* first = dec_signed_commit first in
+      let* second = dec_signed_commit second in
+      Some (Evidence.Equivocation { first; second })
+  | [ "false-bit"; commit; index; opening; witness ] ->
+      let* commit = dec_signed_commit commit in
+      let* index = dec_int index in
+      let* opening = dec_opening opening in
+      let* witness = dec_signed_announce witness in
+      Some (Evidence.False_bit { commit; index; opening; witness })
+  | [ "non-monotonic"; commit; si; so; ui; uo ] ->
+      let* commit = dec_signed_commit commit in
+      let* set_index = dec_int si in
+      let* set_opening = dec_opening so in
+      let* unset_index = dec_int ui in
+      let* unset_opening = dec_opening uo in
+      Some
+        (Evidence.Non_monotonic_bits
+           { commit; set_index; set_opening; unset_index; unset_opening })
+  | [ "nonminimal"; commit; export; index; opening ] ->
+      let* commit = dec_signed_commit commit in
+      let* export = dec_signed_export export in
+      let* index = dec_int index in
+      let* opening = dec_opening opening in
+      Some (Evidence.Nonminimal_export { commit; export; index; opening })
+  | [ "unsupported"; commit; export; openings ] ->
+      let* commit = dec_signed_commit commit in
+      let* export = dec_signed_export export in
+      let* openings = dec_indexed_openings openings in
+      Some (Evidence.Unsupported_export { commit; export; openings })
+  | [ "bad-provenance"; export ] ->
+      let* export = dec_signed_export export in
+      Some (Evidence.Bad_provenance { export })
+  | [ "missing-export"; commit; openings; claimant ] ->
+      let* commit = dec_signed_commit commit in
+      let* openings = dec_indexed_openings openings in
+      let* claimant = dec_int claimant in
+      Some
+        (Evidence.Missing_export_claim
+           { commit; openings; claimant = Pvr_bgp.Asn.of_int claimant })
+  | [ "missing-disclosure"; commit; announce; claimant ] ->
+      let* commit = dec_signed_commit commit in
+      let* announce = dec_signed_announce announce in
+      let* claimant = dec_int claimant in
+      Some
+        (Evidence.Missing_disclosure_claim
+           { commit; announce; claimant = Pvr_bgp.Asn.of_int claimant })
+  | [ "graph"; commit; disclosures; offence ] ->
+      let* commit = dec_signed_commit commit in
+      let* items = dec_list disclosures in
+      let* disclosures =
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            let* d = dec_disclosure item in
+            Some (d :: acc))
+          items (Some [])
+      in
+      let* offence = dec_offence offence in
+      Some (Evidence.Graph_violation { commit; disclosures; offence })
+  | [ "cross-shorter"; commit; export; block; opening ] ->
+      let* commit = dec_signed_commit commit in
+      let* my_export = dec_signed_export export in
+      let* other_block = dec_int block in
+      let* opening = dec_opening opening in
+      Some
+        (Evidence.Cross_shorter_export { commit; my_export; other_block; opening })
+  | [ "own-vector"; commit; export; bit_index; opening ] ->
+      let* commit = dec_signed_commit commit in
+      let* my_export = dec_signed_export export in
+      let* bit_index = dec_int bit_index in
+      let* opening = dec_opening opening in
+      Some
+        (Evidence.Own_vector_mismatch { commit; my_export; bit_index; opening })
+  | _ -> None
+
+let to_hex e = C.Hex.encode (encode e)
+
+let of_hex s =
+  match C.Hex.decode s with
+  | bytes -> decode bytes
+  | exception Invalid_argument _ -> None

@@ -1,0 +1,18 @@
+(** Byte-level serialization of {!Evidence.t}.
+
+    Evidence must "convince a third party" (§2.3), which means it has to
+    survive transport to a judge that shares nothing with the accuser but
+    the keyring.  [encode] produces a self-contained byte string; [decode]
+    parses it back (unverified — {!Judge.evaluate} re-checks everything
+    from scratch, so a forged or corrupted blob can at worst be
+    [Rejected]). *)
+
+val encode : Evidence.t -> string
+
+val decode : string -> Evidence.t option
+(** [None] on any malformed input; never raises. *)
+
+val to_hex : Evidence.t -> string
+(** Hex convenience for logs and the CLI. *)
+
+val of_hex : string -> Evidence.t option

@@ -1,0 +1,82 @@
+module Bgp = Pvr_bgp
+
+(* Slot: one commitment is expected per (signer, epoch, prefix, scheme). *)
+module Slot = struct
+  type t = Bgp.Asn.t * Wire.epoch * string * string
+
+  let compare = Stdlib.compare
+
+  let of_commit (c : Wire.commit Wire.signed) =
+    ( c.Wire.signer,
+      c.Wire.payload.Wire.cmt_epoch,
+      Bgp.Prefix.to_string c.Wire.payload.Wire.cmt_prefix,
+      c.Wire.payload.Wire.cmt_scheme )
+end
+
+module Slot_map = Map.Make (Slot)
+
+type t = {
+  keyring : Keyring.t;
+  mutable held : Wire.commit Wire.signed Slot_map.t Bgp.Asn.Map.t;
+      (* per holder, per slot, the first commitment seen *)
+}
+
+let create keyring = { keyring; held = Bgp.Asn.Map.empty }
+
+let holder_map t holder =
+  Option.value (Bgp.Asn.Map.find_opt holder t.held) ~default:Slot_map.empty
+
+let receive t ~holder commit =
+  if not (Wire.verify t.keyring ~encode:Wire.encode_commit commit) then None
+  else begin
+    let slot = Slot.of_commit commit in
+    let m = holder_map t holder in
+    match Slot_map.find_opt slot m with
+    | None ->
+        t.held <- Bgp.Asn.Map.add holder (Slot_map.add slot commit m) t.held;
+        None
+    | Some existing ->
+        if Wire.equal_commit existing commit then None
+        else Some (Evidence.Equivocation { first = existing; second = commit })
+  end
+
+let exchange t x y =
+  let mx = holder_map t x and my = holder_map t y in
+  let evidence = ref [] in
+  let merge_into holder theirs =
+    Slot_map.iter
+      (fun _slot commit ->
+        match receive t ~holder commit with
+        | Some e -> evidence := e :: !evidence
+        | None -> ())
+      theirs
+  in
+  merge_into x my;
+  merge_into y mx;
+  List.rev !evidence
+
+let run_round t ~edges =
+  List.concat_map (fun (x, y) -> exchange t x y) edges
+
+let clique_edges members =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go members
+
+let ring_edges members =
+  match members with
+  | [] | [ _ ] -> []
+  | first :: _ ->
+      let rec go = function
+        | x :: (y :: _ as rest) -> (x, y) :: go rest
+        | [ last ] -> [ (last, first) ]
+        | [] -> []
+      in
+      go members
+
+let view t ~holder ~signer ~epoch ~prefix ~scheme =
+  Slot_map.find_opt
+    (signer, epoch, Bgp.Prefix.to_string prefix, scheme)
+    (holder_map t holder)

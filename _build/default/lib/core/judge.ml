@@ -1,0 +1,310 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+
+type verdict = Guilty | Exonerated | Rejected
+
+let verdict_to_string = function
+  | Guilty -> "guilty"
+  | Exonerated -> "exonerated"
+  | Rejected -> "rejected"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+type challenge =
+  | Produce_export of {
+      epoch : Wire.epoch;
+      prefix : Bgp.Prefix.t;
+      beneficiary : Bgp.Asn.t;
+    }
+  | Produce_opening of {
+      epoch : Wire.epoch;
+      prefix : Bgp.Prefix.t;
+      scheme : string;
+      index : int;
+    }
+
+type response =
+  | Export_response of Wire.export Wire.signed
+  | Opening_response of C.Commitment.opening
+  | No_response
+
+let commit_valid keyring c = Wire.verify keyring ~encode:Wire.encode_commit c
+
+let export_valid keyring (e : Wire.export Wire.signed) =
+  Wire.verify keyring ~encode:Wire.encode_export e
+
+(* Same slot: the gossip identity key for commitments. *)
+let same_slot (a : Wire.commit Wire.signed) (b : Wire.commit Wire.signed) =
+  Bgp.Asn.equal a.Wire.signer b.Wire.signer
+  && a.Wire.payload.Wire.cmt_epoch = b.Wire.payload.Wire.cmt_epoch
+  && Bgp.Prefix.equal a.Wire.payload.Wire.cmt_prefix
+       b.Wire.payload.Wire.cmt_prefix
+  && String.equal a.Wire.payload.Wire.cmt_scheme b.Wire.payload.Wire.cmt_scheme
+
+let bit_at commit ~index opening = Proto_common.opening_bit_at commit ~index opening
+
+(* The lowest index whose opening is a valid bit set to 1. *)
+let min_set_index commit openings =
+  List.fold_left
+    (fun acc (i, o) ->
+      match bit_at commit ~index:i o with
+      | Some true -> min acc i
+      | _ -> acc)
+    max_int openings
+
+let verdict_of_bool b = if b then Guilty else Rejected
+
+(* Common validation for promise-4 evidence: a well-formed "noshorter"
+   commit plus a valid export by the accused to a listed beneficiary.
+   Returns (k, beneficiary order, claimant's block, exported length). *)
+let noshorter_context keyring (commit : Wire.commit Wire.signed)
+    (my_export : Wire.export Wire.signed) =
+  let cp = commit.Wire.payload in
+  if
+    not
+      (commit_valid keyring commit
+      && cp.Wire.cmt_scheme = Proto_no_shorter.scheme
+      && export_valid keyring my_export
+      && Bgp.Asn.equal my_export.Wire.signer commit.Wire.signer
+      && my_export.Wire.payload.Wire.exp_epoch = cp.Wire.cmt_epoch
+      && Bgp.Prefix.equal
+           my_export.Wire.payload.Wire.exp_route.Bgp.Route.prefix
+           cp.Wire.cmt_prefix)
+  then None
+  else
+    match Proto_no_shorter.header_of_commit commit with
+    | None -> None
+    | Some (k, order) ->
+        let me = my_export.Wire.payload.Wire.exp_to in
+        let rec block j = function
+          | [] -> None
+          | x :: rest -> if Bgp.Asn.equal x me then Some j else block (j + 1) rest
+        in
+        Option.map
+          (fun my_block ->
+            ( k,
+              order,
+              my_block,
+              Bgp.Route.path_length my_export.Wire.payload.Wire.exp_route ))
+          (block 0 order)
+
+let evaluate keyring ~respond evidence =
+  let accused = Evidence.accused evidence in
+  match evidence with
+  | Evidence.Equivocation { first; second } ->
+      verdict_of_bool
+        (commit_valid keyring first
+        && commit_valid keyring second
+        && same_slot first second
+        && not (Wire.equal_commit first second))
+  | Evidence.False_bit { commit; index; opening; witness } ->
+      let cp = commit.Wire.payload in
+      let witness_len =
+        Bgp.Route.path_length witness.Wire.payload.Wire.ann_route
+      in
+      verdict_of_bool
+        (commit_valid keyring commit
+        && bit_at commit ~index opening = Some false
+        && Proto_common.valid_input keyring ~prover:accused
+             ~epoch:cp.Wire.cmt_epoch ~prefix:cp.Wire.cmt_prefix witness
+        &&
+        match cp.Wire.cmt_scheme with
+        | "exists" -> index = 1
+        | "min" -> witness_len <= index
+        | _ -> false)
+  | Evidence.Non_monotonic_bits
+      { commit; set_index; set_opening; unset_index; unset_opening } ->
+      verdict_of_bool
+        (commit_valid keyring commit
+        && set_index < unset_index
+        && bit_at commit ~index:set_index set_opening = Some true
+        && bit_at commit ~index:unset_index unset_opening = Some false)
+  | Evidence.Nonminimal_export { commit; export; index; opening } ->
+      let cp = commit.Wire.payload in
+      let ep = export.Wire.payload in
+      verdict_of_bool
+        (commit_valid keyring commit
+        && export_valid keyring export
+        && Bgp.Asn.equal export.Wire.signer accused
+        && ep.Wire.exp_epoch = cp.Wire.cmt_epoch
+        && Bgp.Prefix.equal ep.Wire.exp_route.Bgp.Route.prefix
+             cp.Wire.cmt_prefix
+        && index < Bgp.Route.path_length ep.Wire.exp_route
+        && bit_at commit ~index opening = Some true)
+  | Evidence.Unsupported_export { commit; export; openings } ->
+      let cp = commit.Wire.payload in
+      let ep = export.Wire.payload in
+      let k = List.length cp.Wire.cmt_commitments in
+      let all_zero =
+        List.length openings = k
+        && List.for_all
+             (fun (i, o) -> bit_at commit ~index:i o = Some false)
+             openings
+        && List.sort_uniq Int.compare (List.map fst openings)
+           = List.init k (fun i -> i + 1)
+      in
+      verdict_of_bool
+        (commit_valid keyring commit
+        && export_valid keyring export
+        && Bgp.Asn.equal export.Wire.signer accused
+        && ep.Wire.exp_epoch = cp.Wire.cmt_epoch
+        && Bgp.Prefix.equal ep.Wire.exp_route.Bgp.Route.prefix
+             cp.Wire.cmt_prefix
+        && all_zero)
+  | Evidence.Bad_provenance { export } ->
+      if not (export_valid keyring export) then Rejected
+      else begin
+        (* Re-run the provenance check the beneficiary ran. *)
+        let ep = export.Wire.payload in
+        let ok =
+          match ep.Wire.exp_provenance with
+          | None -> false
+          | Some ann ->
+              Proto_common.valid_input keyring ~prover:export.Wire.signer
+                ~epoch:ep.Wire.exp_epoch
+                ~prefix:ep.Wire.exp_route.Bgp.Route.prefix ann
+              && Bgp.Route.equal ann.Wire.payload.Wire.ann_route
+                   ep.Wire.exp_route
+        in
+        if ok then Rejected (* provenance is actually fine *) else Guilty
+      end
+  | Evidence.Missing_export_claim { commit; openings; claimant } ->
+      if not (commit_valid keyring commit) then Rejected
+      else begin
+        let cp = commit.Wire.payload in
+        let m = min_set_index commit openings in
+        let bit_says_route =
+          match cp.Wire.cmt_scheme with
+          | "exists" | "min" -> m < max_int
+          | "graph" -> true (* bits live inside the tree; challenge anyway *)
+          | "noshorter" -> begin
+              (* Some opening in the claimant's own block must show 1. *)
+              match Proto_no_shorter.header_of_commit commit with
+              | None -> false
+              | Some (k, order) -> begin
+                  let rec block j = function
+                    | [] -> None
+                    | x :: rest ->
+                        if Bgp.Asn.equal x claimant then Some j
+                        else block (j + 1) rest
+                  in
+                  match block 0 order with
+                  | None -> false
+                  | Some j ->
+                      List.exists
+                        (fun (g, o) ->
+                          g > j * k
+                          && g <= (j + 1) * k
+                          && Proto_no_shorter.bit_at commit ~global:g o
+                             = Some true)
+                        openings
+                end
+            end
+          | _ -> false
+        in
+        if not bit_says_route then Rejected
+        else begin
+          match
+            respond ~accused
+              (Produce_export
+                 {
+                   epoch = cp.Wire.cmt_epoch;
+                   prefix = cp.Wire.cmt_prefix;
+                   beneficiary = claimant;
+                 })
+          with
+          | No_response | Opening_response _ -> Guilty
+          | Export_response export -> begin
+              match
+                Proto_common.check_export_provenance keyring ~commit
+                  ~beneficiary:claimant export
+              with
+              | Error _ -> Guilty
+              | Ok _ ->
+                  let len =
+                    Bgp.Route.path_length export.Wire.payload.Wire.exp_route
+                  in
+                  (* Under the min scheme the produced export must also be
+                     minimal w.r.t. the opened bits; promise 4 and the graph
+                     scheme only require *an* export. *)
+                  if cp.Wire.cmt_scheme = "min" && len > m then Guilty
+                  else Exonerated
+            end
+        end
+      end
+  | Evidence.Missing_disclosure_claim { commit; announce; claimant } ->
+      let cp = commit.Wire.payload in
+      if
+        not
+          (commit_valid keyring commit
+          && Bgp.Asn.equal announce.Wire.signer claimant
+          && Proto_common.valid_input keyring ~prover:accused
+               ~epoch:cp.Wire.cmt_epoch ~prefix:cp.Wire.cmt_prefix announce)
+      then Rejected
+      else begin
+        let index =
+          match cp.Wire.cmt_scheme with
+          | "exists" -> 1
+          | "min" ->
+              Bgp.Route.path_length announce.Wire.payload.Wire.ann_route
+          | _ -> 0
+        in
+        if index = 0 || index > List.length cp.Wire.cmt_commitments then
+          (* Graph-scheme omissions carry no commitment index the judge can
+             open; the challenge falls back to the export question. *)
+          Rejected
+        else begin
+          match
+            respond ~accused
+              (Produce_opening
+                 {
+                   epoch = cp.Wire.cmt_epoch;
+                   prefix = cp.Wire.cmt_prefix;
+                   scheme = cp.Wire.cmt_scheme;
+                   index;
+                 })
+          with
+          | No_response | Export_response _ -> Guilty
+          | Opening_response opening -> begin
+              match bit_at commit ~index opening with
+              | Some true -> Exonerated
+              | Some false | None -> Guilty
+            end
+        end
+      end
+  | Evidence.Graph_violation { commit; disclosures; offence } ->
+      verdict_of_bool
+        (Proto_graph.replay_offence keyring ~commit ~disclosures offence)
+  | Evidence.Cross_shorter_export { commit; my_export; other_block; opening }
+    -> begin
+      match noshorter_context keyring commit my_export with
+      | None -> Rejected
+      | Some (k, _order, my_block, l) ->
+          verdict_of_bool
+            (l >= 2 && l <= k
+            && other_block >= 0
+            && other_block <> my_block
+            && Proto_no_shorter.bit_at commit
+                 ~global:((other_block * k) + (l - 1))
+                 opening
+               = Some true)
+    end
+  | Evidence.Own_vector_mismatch { commit; my_export; bit_index; opening } ->
+    begin
+      match noshorter_context keyring commit my_export with
+      | None -> Rejected
+      | Some (k, _order, my_block, l) ->
+          verdict_of_bool
+            (bit_index >= 1 && bit_index <= k && l <= k
+            &&
+            match
+              Proto_no_shorter.bit_at commit
+                ~global:((my_block * k) + bit_index)
+                opening
+            with
+            | Some v -> v <> (l <= bit_index)
+            | None -> false)
+    end
+
+let evaluate_offline keyring evidence =
+  evaluate keyring ~respond:(fun ~accused:_ _ -> No_response) evidence

@@ -1,0 +1,56 @@
+(** The third party of the Evidence property (§2.3).
+
+    "If an incorrect evaluation is detected in an AS A, then at least one AS
+    B can obtain evidence against A that will convince a third party", and
+    dually (Accuracy) "A can disprove any evidence that is presented
+    against it."
+
+    Self-contained evidence (conflicting signatures, bad openings, bit
+    contradictions) is replayed directly.  Omission claims
+    ([Missing_export_claim], [Missing_disclosure_claim]) cannot be proven by
+    the accuser, so the judge {e challenges} the accused to produce the item
+    it allegedly withheld; an honest AS always can, a stubborn or lying one
+    is found guilty. *)
+
+type verdict =
+  | Guilty      (** the evidence convinces the judge *)
+  | Exonerated  (** the accused disproved the accusation *)
+  | Rejected    (** the evidence itself is malformed or unconvincing *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_to_string : verdict -> string
+
+type challenge =
+  | Produce_export of {
+      epoch : Wire.epoch;
+      prefix : Pvr_bgp.Prefix.t;
+      beneficiary : Pvr_bgp.Asn.t;
+    }
+      (** "show the signed export you claim to have sent B in this round" *)
+  | Produce_opening of {
+      epoch : Wire.epoch;
+      prefix : Pvr_bgp.Prefix.t;
+      scheme : string;
+      index : int;
+    }
+      (** "open commitment [index] of your commit message" *)
+
+type response =
+  | Export_response of Wire.export Wire.signed
+  | Opening_response of Pvr_crypto.Commitment.opening
+  | No_response
+
+val evaluate :
+  Keyring.t ->
+  respond:(accused:Pvr_bgp.Asn.t -> challenge -> response) ->
+  Evidence.t ->
+  verdict
+(** Replay the evidence.  [respond] reaches the accused (experiments wire it
+    to the honest prover or to an adversary).  Every signature and opening
+    inside the evidence is re-verified from scratch: forged or inconsistent
+    evidence yields [Rejected], never [Guilty]. *)
+
+val evaluate_offline : Keyring.t -> Evidence.t -> verdict
+(** Like {!evaluate} with an accused that never responds: omission claims
+    against it therefore stick.  Convenient in tests for self-contained
+    evidence. *)

@@ -1,0 +1,32 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+
+type t = {
+  rng : C.Drbg.t;
+  bits : int;
+  mutable keys : C.Rsa.private_key Bgp.Asn.Map.t;
+}
+
+let add_key t asn =
+  if Bgp.Asn.Map.mem asn t.keys then
+    invalid_arg ("Keyring: duplicate key for " ^ Bgp.Asn.to_string asn);
+  let key = C.Rsa.generate t.rng ~bits:t.bits in
+  t.keys <- Bgp.Asn.Map.add asn key t.keys
+
+let create ?(bits = 1024) rng members =
+  let t = { rng; bits; keys = Bgp.Asn.Map.empty } in
+  List.iter (add_key t) members;
+  t
+
+let add t asn =
+  add_key t asn;
+  t
+
+let private_key t asn =
+  match Bgp.Asn.Map.find_opt asn t.keys with
+  | Some k -> k
+  | None -> raise Not_found
+
+let public_key t asn = (private_key t asn).C.Rsa.pub
+
+let members t = List.map fst (Bgp.Asn.Map.bindings t.keys)

@@ -1,0 +1,23 @@
+(** Identities and keys for PVR participants.
+
+    PVR assumes (like S-BGP) that every network can sign statements and that
+    neighbors know each other's public keys.  A keyring holds the key pairs
+    of the ASes in an experiment and answers public-key lookups. *)
+
+type t
+
+val create : ?bits:int -> Pvr_crypto.Drbg.t -> Pvr_bgp.Asn.t list -> t
+(** Generate a key pair for each AS ([bits]-bit modulus, default 1024 — the
+    size §3.8 quotes).  Key generation dominates experiment setup time, so
+    tests pass smaller moduli (e.g. 512). *)
+
+val add : t -> Pvr_bgp.Asn.t -> t
+(** Generate a key for one more AS. @raise Invalid_argument if present. *)
+
+val private_key : t -> Pvr_bgp.Asn.t -> Pvr_crypto.Rsa.private_key
+(** @raise Not_found for unknown ASes. *)
+
+val public_key : t -> Pvr_bgp.Asn.t -> Pvr_crypto.Rsa.public_key
+(** @raise Not_found for unknown ASes. *)
+
+val members : t -> Pvr_bgp.Asn.t list

@@ -1,0 +1,100 @@
+module Bgp = Pvr_bgp
+
+type fact =
+  | Knows_route of { provider : Bgp.Asn.t; route : Bgp.Route.t }
+  | Knows_min_length of int
+  | Knows_bit of { index : int; value : bool }
+  | Knows_route_count_positive
+
+let pp_fact ppf = function
+  | Knows_route { provider; route } ->
+      Format.fprintf ppf "route of %a: %a" Bgp.Asn.pp provider Bgp.Route.pp
+        route
+  | Knows_min_length l -> Format.fprintf ppf "min input length = %d" l
+  | Knows_bit { index; value } ->
+      Format.fprintf ppf "bit b_%d = %b" index value
+  | Knows_route_count_positive -> Format.fprintf ppf "at least one input"
+
+type view = fact list
+
+let plain_bgp_beneficiary ~exported =
+  match exported with
+  | None -> []
+  | Some r ->
+      (* The route B receives is itself an input of A (pre-prepend), and
+         the kept promise implies it is the minimum. *)
+      [
+        Knows_route
+          { provider = r.Bgp.Route.next_hop; route = r };
+        Knows_min_length (Bgp.Route.path_length r);
+        Knows_route_count_positive;
+      ]
+
+let plain_bgp_provider ~me ~my_route =
+  [
+    Knows_route { provider = me; route = my_route };
+    Knows_route_count_positive;
+  ]
+
+let pvr_min_beneficiary ~k ~openings ~exported =
+  ignore k;
+  plain_bgp_beneficiary ~exported
+  @ List.map (fun (index, value) -> Knows_bit { index; value }) openings
+
+let pvr_min_provider ~me ~my_route ~revealed_bit =
+  plain_bgp_provider ~me ~my_route
+  @
+  match revealed_bit with
+  | Some (index, value) -> [ Knows_bit { index; value } ]
+  | None -> []
+
+let netreview_neighbor ~inputs =
+  let routes =
+    List.map (fun (provider, route) -> Knows_route { provider; route }) inputs
+  in
+  let min_len =
+    List.fold_left
+      (fun acc (_, r) -> min acc (Bgp.Route.path_length r))
+      max_int inputs
+  in
+  if inputs = [] then []
+  else routes @ [ Knows_min_length min_len; Knows_route_count_positive ]
+
+(* Closure rules:
+   - any baseline fact is derivable;
+   - Knows_min_length L ⟹ Knows_bit(i, L <= i) for every i;
+   - Knows_route (own or learned) of length L ⟹ Knows_bit(i, true) for
+     i >= L (some input is at most L hops) and Knows_route_count_positive;
+   - Knows_min_length ⟹ Knows_route_count_positive. *)
+let derivable ~baseline fact =
+  List.mem fact baseline
+  ||
+  let known_min =
+    List.find_map
+      (function Knows_min_length l -> Some l | _ -> None)
+      baseline
+  in
+  let known_route_lengths =
+    List.filter_map
+      (function
+        | Knows_route { route; _ } -> Some (Bgp.Route.path_length route)
+        | _ -> None)
+      baseline
+  in
+  match fact with
+  | Knows_bit { index; value } -> begin
+      match known_min with
+      | Some l -> value = (l <= index)
+      | None ->
+          (* A set bit follows from any known route short enough. *)
+          value && List.exists (fun l -> l <= index) known_route_lengths
+    end
+  | Knows_route_count_positive ->
+      known_min <> None || known_route_lengths <> []
+  | Knows_min_length _ | Knows_route _ -> false
+
+let excess ~baseline ~observed =
+  List.filter (fun f -> not (derivable ~baseline f)) observed
+
+let excess_count ~baseline ~observed =
+  List.length (excess ~baseline ~observed)

@@ -1,0 +1,66 @@
+(** Confidentiality audit (§2.3 Confidentiality, experiment E7).
+
+    "No AS will learn information from running PVR that it could not learn
+    in the unsecured system, unless this was explicitly authorized by α."
+
+    We make "information learned" concrete as a set of {!fact}s and give
+    each verification scheme a {e view}: the facts a party extracts from its
+    transcript.  A fact is an {e excess} leak if it is not derivable from
+    the party's plain-BGP baseline by the closure rules of §2.3:
+
+    - the beneficiary of a kept shortest-route promise already learns the
+      minimum input length from the exported route itself ("Y learns the
+      values of some of X's input variables, even though, according to α,
+      it may not have access"), and
+    - a threshold bit b_i is derivable from a known minimum length.
+
+    PVR transcripts must produce zero excess facts; the NetReview-style
+    full-disclosure baseline leaks every input route to every neighbor. *)
+
+module Bgp = Pvr_bgp
+
+type fact =
+  | Knows_route of { provider : Bgp.Asn.t; route : Bgp.Route.t }
+      (** the party knows this exact input route of A *)
+  | Knows_min_length of int
+      (** the party knows the length of A's shortest input *)
+  | Knows_bit of { index : int; value : bool }
+      (** the party knows threshold bit b_index *)
+  | Knows_route_count_positive
+      (** the party knows at least one input existed *)
+
+val pp_fact : Format.formatter -> fact -> unit
+
+type view = fact list
+
+(** {2 Views per scheme} *)
+
+val plain_bgp_beneficiary : exported:Bgp.Route.t option -> view
+(** What B learns from ordinary BGP under an (assumed kept) shortest-route
+    promise: the exported route's existence and, by the promise, the
+    minimum length. *)
+
+val plain_bgp_provider : me:Bgp.Asn.t -> my_route:Bgp.Route.t -> view
+(** What N_i knows anyway: its own announcement (hence bit b_{|r_i|}). *)
+
+val pvr_min_beneficiary :
+  k:int -> openings:(int * bool) list -> exported:Bgp.Route.t option -> view
+(** Facts B extracts from a §3.3 transcript: all bits plus the export. *)
+
+val pvr_min_provider :
+  me:Bgp.Asn.t -> my_route:Bgp.Route.t -> revealed_bit:(int * bool) option -> view
+(** Facts N_i extracts: its own route plus the one disclosed bit. *)
+
+val netreview_neighbor : inputs:(Bgp.Asn.t * Bgp.Route.t) list -> view
+(** Full disclosure: every neighbor sees every input route. *)
+
+(** {2 The audit} *)
+
+val derivable : baseline:view -> fact -> bool
+(** Closure: is the fact implied by the baseline facts? *)
+
+val excess : baseline:view -> observed:view -> fact list
+(** Observed facts not derivable from the baseline = confidentiality
+    violations.  Empty for PVR, size k-ish for NetReview. *)
+
+val excess_count : baseline:view -> observed:view -> int

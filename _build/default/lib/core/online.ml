@@ -1,0 +1,143 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+open Proto_common
+
+type t = {
+  rng : C.Drbg.t;
+  keyring : Keyring.t;
+  sim : Bgp.Simulator.t;
+  prover : Bgp.Asn.t;
+  beneficiary : Bgp.Asn.t;
+  providers : Bgp.Asn.t list;
+  max_path_len : int;
+  gossip : [ `Clique | `Ring | `None ];
+  mutable epoch : Wire.epoch;
+}
+
+let create ?(max_path_len = Proto_min.default_max_path_len)
+    ?(gossip = `Clique) rng keyring ~sim ~prover ~beneficiary ~providers =
+  { rng; keyring; sim; prover; beneficiary; providers; max_path_len; gossip;
+    epoch = 0 }
+
+let current_epoch t = t.epoch
+
+(* The simulator's Adj-RIB-Out entry towards B carries A's prepended path;
+   PVR compares exports against inputs pre-prepend, so strip A. *)
+let unprepend prover (r : Bgp.Route.t) =
+  match r.Bgp.Route.as_path with
+  | first :: (next :: _ as rest) when Bgp.Asn.equal first prover ->
+      { r with Bgp.Route.as_path = rest; next_hop = next }
+  | _ -> r
+
+let epoch t ~prefix =
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  let inputs =
+    List.filter_map
+      (fun n ->
+        Option.map
+          (fun r -> (n, r))
+          (Bgp.Rib.get_in (Bgp.Simulator.rib t.sim t.prover) ~neighbor:n prefix))
+      t.providers
+  in
+  let announces =
+    List.map
+      (fun (n, r) ->
+        (n, Runner.announce_of_route t.keyring ~provider:n ~prover:t.prover ~epoch r))
+      inputs
+  in
+  (* An honest PVR layer at A: bits computed from the true Adj-RIB-In. *)
+  let honest =
+    Adversary.run_min Adversary.Honest ~max_path_len:t.max_path_len t.rng
+      t.keyring ~prover:t.prover ~beneficiary:t.beneficiary ~epoch ~prefix
+      ~inputs:(List.map snd announces)
+  in
+  (* ...but the export is whatever the simulator's A actually sent. *)
+  let actual_export =
+    Option.map
+      (fun r ->
+        let route = unprepend t.prover r in
+        let provenance =
+          List.find_opt
+            (fun (ann : Wire.announce Wire.signed) ->
+              Bgp.Route.equal ann.Wire.payload.Wire.ann_route route)
+            (List.map snd announces)
+        in
+        Wire.sign t.keyring ~as_:t.prover ~encode:Wire.encode_export
+          { Wire.exp_epoch = epoch; exp_to = t.beneficiary; exp_route = route;
+            exp_provenance = provenance })
+      (Bgp.Simulator.exported_route t.sim ~asn:t.prover
+         ~neighbor:t.beneficiary prefix)
+  in
+  let beneficiary_disclosure =
+    { honest.Adversary.beneficiary_disclosure with bd_export = actual_export }
+  in
+  (* Drive the same machinery as Runner.min_round, but with the substituted
+     export. *)
+  let participants = List.map fst announces @ [ t.beneficiary ] in
+  let g = Gossip.create t.keyring in
+  let raised = ref [] in
+  List.iter
+    (fun who ->
+      match Gossip.receive g ~holder:who (honest.Adversary.commit_for who) with
+      | Some e -> raised := (Adversary.Gossip, e) :: !raised
+      | None -> ())
+    participants;
+  let edges =
+    match t.gossip with
+    | `Clique -> Gossip.clique_edges participants
+    | `Ring -> Gossip.ring_edges participants
+    | `None -> []
+  in
+  List.iter
+    (fun e -> raised := (Adversary.Gossip, e) :: !raised)
+    (Gossip.run_round g ~edges);
+  List.iter
+    (fun (provider, ann) ->
+      match
+        Gossip.view g ~holder:provider ~signer:t.prover ~epoch ~prefix
+          ~scheme:Proto_min.scheme
+      with
+      | None -> ()
+      | Some commit ->
+          let disclosure =
+            Option.join
+              (List.assoc_opt provider honest.Adversary.neighbor_disclosures)
+          in
+          List.iter
+            (fun e -> raised := (Adversary.Provider provider, e) :: !raised)
+            (Proto_min.check_neighbor t.keyring ~me:provider ~my_announce:ann
+               ~commit ~disclosure))
+    announces;
+  (match
+     Gossip.view g ~holder:t.beneficiary ~signer:t.prover ~epoch ~prefix
+       ~scheme:Proto_min.scheme
+   with
+  | None -> ()
+  | Some commit ->
+      List.iter
+        (fun e -> raised := (Adversary.Beneficiary, e) :: !raised)
+        (Proto_min.check_beneficiary t.keyring ~me:t.beneficiary ~commit
+           ~disclosure:beneficiary_disclosure));
+  let raised = List.rev !raised in
+  let judged =
+    List.map
+      (fun (who, e) ->
+        (who, e, Judge.evaluate t.keyring ~respond:honest.Adversary.respond e))
+      raised
+  in
+  {
+    Runner.raised;
+    judged;
+    detected = raised <> [];
+    convicted = List.exists (fun (_, _, v) -> v = Judge.Guilty) judged;
+    exonerated = List.exists (fun (_, _, v) -> v = Judge.Exonerated) judged;
+    messages = List.length announces + List.length participants + List.length edges + 1;
+    commit_bytes =
+      String.length
+        (Wire.encode_commit
+           (honest.Adversary.commit_for t.beneficiary).Wire.payload);
+  }
+
+let run_epochs t ~prefixes =
+  List.map (fun prefix -> (prefix, epoch t ~prefix)) prefixes

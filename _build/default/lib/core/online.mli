@@ -1,0 +1,42 @@
+(** Continuous verification: PVR attached to a running BGP simulation.
+
+    The paper's deployment story is that verification runs alongside the
+    routing protocol, one round per update ("such a task would have to be
+    performed for every single BGP update", §3.1 — which is why cheap
+    rounds matter).  This module drives that loop: after each batch of
+    simulator events, {!epoch} takes network A's {e actual} Adj-RIB-In and
+    its {e actual} export towards B out of the {!Pvr_bgp.Simulator}, wraps
+    them in signed PVR messages, and runs the full §3.3 round.
+
+    The PVR layer itself is faithful — it commits to the routes A really
+    received and the route A really exported — so any corruption of A's
+    decision process (e.g. a {!Pvr_bgp.Simulator.set_decision_override}
+    Byzantine policy) surfaces as evidence in the next epoch, exactly like
+    an {!Adversary.Export_nonminimal} prover. *)
+
+module Bgp = Pvr_bgp
+
+type t
+
+val create :
+  ?max_path_len:int ->
+  ?gossip:[ `Clique | `Ring | `None ] ->
+  Pvr_crypto.Drbg.t ->
+  Keyring.t ->
+  sim:Bgp.Simulator.t ->
+  prover:Bgp.Asn.t ->
+  beneficiary:Bgp.Asn.t ->
+  providers:Bgp.Asn.t list ->
+  t
+(** Watch [prover]'s promise of shortest-path export (from [providers]) to
+    [beneficiary].  All parties must be in the keyring. *)
+
+val epoch : t -> prefix:Bgp.Prefix.t -> Runner.report
+(** Run one verification round against the simulator's current state for
+    the prefix.  Advances the epoch counter. *)
+
+val current_epoch : t -> Wire.epoch
+
+val run_epochs :
+  t -> prefixes:Bgp.Prefix.t list -> (Bgp.Prefix.t * Runner.report) list
+(** One round per prefix (each its own epoch). *)

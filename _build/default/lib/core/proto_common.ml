@@ -1,0 +1,56 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+
+type neighbor_disclosure = {
+  nd_index : int;
+  nd_opening : C.Commitment.opening;
+}
+
+type beneficiary_disclosure = {
+  bd_openings : (int * C.Commitment.opening) list;
+  bd_export : Wire.export Wire.signed option;
+}
+
+let valid_input keyring ~prover ~epoch ~prefix (ann : Wire.announce Wire.signed)
+    =
+  Wire.verify keyring ~encode:Wire.encode_announce ann
+  && Bgp.Asn.equal ann.Wire.payload.Wire.ann_to prover
+  && ann.Wire.payload.Wire.ann_epoch = epoch
+  && Bgp.Prefix.equal ann.Wire.payload.Wire.ann_route.Bgp.Route.prefix prefix
+  &&
+  match ann.Wire.payload.Wire.ann_route.Bgp.Route.as_path with
+  | first :: _ -> Bgp.Asn.equal first ann.Wire.signer
+  | [] -> false
+
+let opening_bit_at (commit : Wire.commit Wire.signed) ~index opening =
+  let commitments = commit.Wire.payload.Wire.cmt_commitments in
+  if index < 1 || index > List.length commitments then None
+  else begin
+    let c = C.Commitment.of_raw (List.nth commitments (index - 1)) in
+    if C.Commitment.verify c opening then C.Commitment.opening_bit opening
+    else None
+  end
+
+let check_export_provenance keyring ~commit ~beneficiary
+    (export : Wire.export Wire.signed) =
+  let bad () = Error (Evidence.Bad_provenance { export }) in
+  let cp = commit.Wire.payload in
+  let ep = export.Wire.payload in
+  if not (Wire.verify keyring ~encode:Wire.encode_export export) then bad ()
+  else if not (Bgp.Asn.equal export.Wire.signer commit.Wire.signer) then bad ()
+  else if ep.Wire.exp_epoch <> cp.Wire.cmt_epoch then bad ()
+  else if not (Bgp.Asn.equal ep.Wire.exp_to beneficiary) then bad ()
+  else if
+    not (Bgp.Prefix.equal ep.Wire.exp_route.Bgp.Route.prefix cp.Wire.cmt_prefix)
+  then bad ()
+  else begin
+    match ep.Wire.exp_provenance with
+    | None -> bad ()
+    | Some ann ->
+        if
+          valid_input keyring ~prover:commit.Wire.signer
+            ~epoch:cp.Wire.cmt_epoch ~prefix:cp.Wire.cmt_prefix ann
+          && Bgp.Route.equal ann.Wire.payload.Wire.ann_route ep.Wire.exp_route
+        then Ok ann
+        else bad ()
+  end

@@ -1,0 +1,53 @@
+(** Pieces shared by the existential (§3.2) and minimum (§3.3) protocols.
+
+    Conventions used throughout:
+    - An "input" is a {!Wire.announce} signed by the providing neighbor N_i
+      and addressed to the prover A.
+    - The exported route carried in a {!Wire.export} is the {e chosen input
+      route as received} (before A prepends its own ASN); B compares it
+      bytewise against the embedded provenance announcement.
+    - Bit indices are 1-based path lengths, as in §3.3: b_i = 1 iff some
+      input route has AS-path length ≤ i. *)
+
+type neighbor_disclosure = {
+  nd_index : int;  (** which commitment is being opened (1 for ["exists"]) *)
+  nd_opening : Pvr_crypto.Commitment.opening;
+}
+(** What A reveals to a providing neighbor. *)
+
+type beneficiary_disclosure = {
+  bd_openings : (int * Pvr_crypto.Commitment.opening) list;
+  bd_export : Wire.export Wire.signed option;
+}
+(** What A reveals to the beneficiary B. *)
+
+val valid_input :
+  Keyring.t ->
+  prover:Pvr_bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Pvr_bgp.Prefix.t ->
+  Wire.announce Wire.signed ->
+  bool
+(** Is this announcement admissible as an input for the round: valid
+    signature, addressed to the prover, right epoch and prefix, and the
+    announcing neighbor is the first AS on the route's path? *)
+
+val opening_bit_at :
+  Wire.commit Wire.signed ->
+  index:int ->
+  Pvr_crypto.Commitment.opening ->
+  bool option
+(** Check an opening against commitment [index] (1-based) of a commit
+    message; [Some b] if it verifies and encodes bit [b], [None]
+    otherwise. *)
+
+val check_export_provenance :
+  Keyring.t ->
+  commit:Wire.commit Wire.signed ->
+  beneficiary:Pvr_bgp.Asn.t ->
+  Wire.export Wire.signed ->
+  (Wire.announce Wire.signed, Evidence.t) result
+(** Validate an export received by B: A's signature, epoch/prefix/recipient
+    consistency, and the embedded provenance (a validly-signed input whose
+    route equals the exported route).  On success, returns the provenance
+    announcement. *)

@@ -1,0 +1,137 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+open Proto_common
+
+type prover_output = {
+  commit : Wire.commit Wire.signed;
+  neighbor_disclosures : (Bgp.Asn.t * neighbor_disclosure) list;
+  beneficiary_disclosure : beneficiary_disclosure;
+}
+
+let scheme = "exists"
+
+let prove rng keyring ~prover ~beneficiary ~epoch ~prefix ~inputs =
+  let inputs =
+    List.filter (valid_input keyring ~prover ~epoch ~prefix) inputs
+  in
+  let b = inputs <> [] in
+  let c, opening = C.Commitment.commit_bit rng b in
+  let commit =
+    Wire.sign keyring ~as_:prover ~encode:Wire.encode_commit
+      {
+        Wire.cmt_epoch = epoch;
+        cmt_prefix = prefix;
+        cmt_scheme = scheme;
+        cmt_commitments = [ (c :> string) ];
+      }
+  in
+  let neighbor_disclosures =
+    List.map
+      (fun (ann : Wire.announce Wire.signed) ->
+        (ann.Wire.signer, { nd_index = 1; nd_opening = opening }))
+      inputs
+  in
+  let export =
+    match inputs with
+    | [] -> None
+    | chosen :: _ ->
+        Some
+          (Wire.sign keyring ~as_:prover ~encode:Wire.encode_export
+             {
+               Wire.exp_epoch = epoch;
+               exp_to = beneficiary;
+               exp_route = chosen.Wire.payload.Wire.ann_route;
+               exp_provenance = Some chosen;
+             })
+  in
+  {
+    commit;
+    neighbor_disclosures;
+    beneficiary_disclosure =
+      { bd_openings = [ (1, opening) ]; bd_export = export };
+  }
+
+let check_neighbor _keyring ~me ~my_announce ~commit ~disclosure =
+  let missing =
+    Evidence.Missing_disclosure_claim
+      { commit; announce = my_announce; claimant = me }
+  in
+  match disclosure with
+  | None -> [ missing ]
+  | Some { nd_index; nd_opening } -> begin
+      match opening_bit_at commit ~index:nd_index nd_opening with
+      | None -> [ missing ] (* a garbage opening is as good as none *)
+      | Some true -> []
+      | Some false ->
+          [
+            Evidence.False_bit
+              {
+                commit;
+                index = nd_index;
+                opening = nd_opening;
+                witness = my_announce;
+              };
+          ]
+    end
+
+let check_beneficiary keyring ~me ~commit ~disclosure =
+  let claim_missing () =
+    [
+      Evidence.Missing_export_claim
+        { commit; openings = disclosure.bd_openings; claimant = me };
+    ]
+  in
+  match disclosure.bd_openings with
+  | [ (1, opening) ] -> begin
+      match opening_bit_at commit ~index:1 opening with
+      | None -> claim_missing ()
+      | Some bit -> begin
+          match (bit, disclosure.bd_export) with
+          | false, None -> []
+          | false, Some export -> begin
+              (* A committed "no inputs" yet exported: if the export itself
+                 is sound this contradicts the commitment; if not, the
+                 provenance is the offence. *)
+              match check_export_provenance keyring ~commit ~beneficiary:me export with
+              | Ok _ ->
+                  [
+                    Evidence.Unsupported_export
+                      { commit; export; openings = [ (1, opening) ] };
+                  ]
+              | Error e -> [ e ]
+            end
+          | true, None -> claim_missing ()
+          | true, Some export -> begin
+              match check_export_provenance keyring ~commit ~beneficiary:me export with
+              | Ok _ -> []
+              | Error e -> [ e ]
+            end
+        end
+    end
+  | _ -> claim_missing ()
+
+let ring_statement ~epoch ~prefix =
+  Printf.sprintf "pvr-ring:a route to %s exists in epoch %d"
+    (Bgp.Prefix.to_string prefix)
+    epoch
+
+let ring_of keyring ring = Array.of_list (List.map (Keyring.public_key keyring) ring)
+
+let index_of ring signer =
+  let rec go i = function
+    | [] -> invalid_arg "Proto_exists.ring_announce: signer not in ring"
+    | x :: rest -> if Bgp.Asn.equal x signer then i else go (i + 1) rest
+  in
+  go 0 ring
+
+let ring_announce rng keyring ~ring ~signer ~epoch ~prefix =
+  let pubs = ring_of keyring ring in
+  let idx = index_of ring signer in
+  C.Ring_signature.sign rng ~ring:pubs ~signer:idx
+    ~key:(Keyring.private_key keyring signer)
+    (ring_statement ~epoch ~prefix)
+
+let ring_check keyring ~ring ~epoch ~prefix signature =
+  C.Ring_signature.verify ~ring:(ring_of keyring ring)
+    ~msg:(ring_statement ~epoch ~prefix)
+    signature

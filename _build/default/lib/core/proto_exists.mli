@@ -1,0 +1,88 @@
+(** The existential-operator protocol (§3.2).
+
+    A promises B to export a route whenever at least one of N_1..N_k
+    provides one.  The promise decomposes into two independently-verifiable
+    conditions:
+
+    + B verifies that any exported route was provided to A by some N_i
+      (signed announcements / provenance);
+    + each providing N_i verifies that A exported {e something}: A commits
+      to a bit b ("I received at least one route") as c = H(b ‖ p), the
+      neighbors gossip about c, and A opens the commitment to each provider
+      (bit must be 1) and to B (b = 1 ⟺ a signed route arrives).
+
+    Neither the N_i nor B learn anything beyond plain BGP: the N_i see only
+    the bit (which must be 1 for them anyway), and B sees the chosen route
+    (which BGP already shows it) plus b.
+
+    The ring-signature variant at the end implements the paper's link-state
+    remark: the provenance proves {e some} ring member provided a route,
+    without identifying which. *)
+
+open Proto_common
+
+type prover_output = {
+  commit : Wire.commit Wire.signed;
+  neighbor_disclosures : (Pvr_bgp.Asn.t * neighbor_disclosure) list;
+      (** one per providing neighbor *)
+  beneficiary_disclosure : beneficiary_disclosure;
+}
+
+val scheme : string
+(** ["exists"]. *)
+
+val prove :
+  Pvr_crypto.Drbg.t ->
+  Keyring.t ->
+  prover:Pvr_bgp.Asn.t ->
+  beneficiary:Pvr_bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Pvr_bgp.Prefix.t ->
+  inputs:Wire.announce Wire.signed list ->
+  prover_output
+(** Honest A: commit to b, export the first valid input (if any) with
+    provenance, open the bit to every provider and to B.  Invalid inputs
+    (bad signature, wrong epoch/prefix/recipient) are ignored. *)
+
+val check_neighbor :
+  Keyring.t ->
+  me:Pvr_bgp.Asn.t ->
+  my_announce:Wire.announce Wire.signed ->
+  commit:Wire.commit Wire.signed ->
+  disclosure:neighbor_disclosure option ->
+  Evidence.t list
+(** N_i's verification (condition 2): having provided a route, N_i must
+    receive a valid opening of c showing b = 1.  [commit] is the (already
+    gossip-checked) commitment. *)
+
+val check_beneficiary :
+  Keyring.t ->
+  me:Pvr_bgp.Asn.t ->
+  commit:Wire.commit Wire.signed ->
+  disclosure:beneficiary_disclosure ->
+  Evidence.t list
+(** B's verification (condition 1 + bit consistency). *)
+
+(** {2 Link-state variant (ring signatures)} *)
+
+val ring_statement : epoch:Wire.epoch -> prefix:Pvr_bgp.Prefix.t -> string
+(** The statement "a route to [prefix] exists in epoch [epoch]". *)
+
+val ring_announce :
+  Pvr_crypto.Drbg.t ->
+  Keyring.t ->
+  ring:Pvr_bgp.Asn.t list ->
+  signer:Pvr_bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Pvr_bgp.Prefix.t ->
+  Pvr_crypto.Ring_signature.t
+(** A provider signs the existence statement anonymously within the ring. *)
+
+val ring_check :
+  Keyring.t ->
+  ring:Pvr_bgp.Asn.t list ->
+  epoch:Wire.epoch ->
+  prefix:Pvr_bgp.Prefix.t ->
+  Pvr_crypto.Ring_signature.t ->
+  bool
+(** B's check: some ring member signed the statement. *)

@@ -1,0 +1,160 @@
+(** The generalized PVR mechanism over route-flow graphs (§3.5–3.7).
+
+    A commits to its whole route-flow graph in a prefix-free Merkle hash
+    tree ({!Pvr_merkle.Prefix_tree}): one leaf per vertex x, at the path
+    {!Pvr_merkle.Bitstring.of_id}[ x].  Following §3.7, the committed leaf
+    value is the triple
+    I(x) = (c(preds), c(succs), c(payload)) — three independent
+    commitments, so "the three types of information can be revealed
+    independently, depending on the authorization of the querying
+    neighbor".
+
+    The payload of a variable vertex is its set of routes; the payload of an
+    operator vertex is "the operator type and the evidence" — where the
+    evidence embeds the §3.2/§3.3 bit mechanism per operator: an
+    existential bit for [Exists], threshold bits b_1..b_k for
+    [Min_path_length] (and friends), and a bit vector per input branch for
+    [Shorter_of].  The bit openings let an authorized neighbor check an
+    operator's output against its committed evidence {e without seeing the
+    input routes}.
+
+    Disclosure is driven by an {!Access_control.t}: {!disclose} assembles,
+    for one viewer, exactly the components α authorizes, each
+    authenticated against the signed root. *)
+
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+module Rfg = Pvr_rfg.Rfg
+
+val scheme : string
+(** ["graph"]. *)
+
+type component_opening = { raw : string; opening : C.Commitment.opening }
+(** An opened component: [raw] is the committed byte string (which the
+    opening re-proves), already decoded from the opening value. *)
+
+type disclosure = {
+  vertex : Rfg.vertex_id;
+  leaf : string;                       (** the committed I(x) triple *)
+  proof : Pvr_merkle.Prefix_tree.proof;
+  preds : component_opening option;    (** encoded predecessor id list *)
+  succs : component_opening option;    (** encoded successor id list *)
+  payload : component_opening option;
+  bit_openings : (int * C.Commitment.opening) list;
+      (** for operator vertices: openings of the evidence bits this viewer
+          is entitled to (all bits for the beneficiary, the bit at the
+          viewer's own route length for a provider) *)
+}
+
+type prover_state
+
+val prove :
+  ?max_path_len:int ->
+  C.Drbg.t ->
+  Keyring.t ->
+  prover:Bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Bgp.Prefix.t ->
+  rfg:Rfg.t ->
+  inputs:Wire.announce Wire.signed list ->
+  prover_state
+(** Honest A: evaluate the graph on the (valid) inputs, build all vertex
+    commitments and the tree, sign the root. *)
+
+val commit_message : prover_state -> Wire.commit Wire.signed
+val root : prover_state -> string
+val valuation : prover_state -> Rfg.valuation
+val tree_cardinal : prover_state -> int
+
+val exported : prover_state -> beneficiary:Bgp.Asn.t -> Wire.export Wire.signed option
+(** The signed export for a beneficiary output variable of the graph (with
+    provenance when the exported route matches an input). *)
+
+val disclose :
+  ?role:[ `Beneficiary | `Provider of int ] ->
+  prover_state ->
+  alpha:Access_control.t ->
+  viewer:Bgp.Asn.t ->
+  disclosure list
+(** Everything α lets the viewer see, authenticated.  [role] controls the
+    evidence bits (which are revealed per protocol role, not per α):
+    beneficiaries receive all bits of each visible operator (§3.3 "A also
+    reveals all the bits b_i to B"); [`Provider len] receives only the bit
+    at its own route length.  Default: beneficiary. *)
+
+(** {2 Verification} *)
+
+val check_disclosure_integrity :
+  root:string -> disclosure -> bool
+(** Structural validity: Merkle proof against the root and every opened
+    component against its digest in the leaf triple.  Any viewer runs this
+    on everything it receives before semantic checks. *)
+
+val check_provider :
+  Keyring.t ->
+  me:Bgp.Asn.t ->
+  my_announce:Wire.announce Wire.signed ->
+  commit:Wire.commit Wire.signed ->
+  disclosures:disclosure list ->
+  Evidence.t list
+(** A providing neighbor N_i: its input variable must be committed with
+    exactly the route it announced, and every operator consuming that
+    variable must have its evidence bit at |r_i| set. *)
+
+val check_beneficiary :
+  Keyring.t ->
+  me:Bgp.Asn.t ->
+  commit:Wire.commit Wire.signed ->
+  disclosures:disclosure list ->
+  export:Wire.export Wire.signed option ->
+  Evidence.t list
+(** The beneficiary B: navigate from its output variable to the producing
+    operator, check the output value against the operator type and its
+    committed bit evidence, and check export/provenance consistency. *)
+
+val decode_id_list : string -> Rfg.vertex_id list option
+(** Decode a preds/succs component payload (exposed for tests/judge). *)
+
+(** {2 Composite operators (§4 structural privacy)}
+
+    A composite vertex ({!Pvr_rfg.Rfg.add_composite}) commits its internals
+    in a {e nested} prefix tree: the vertex's payload reveals only the inner
+    root, so an unauthorized viewer learns nothing about the inner
+    structure — "a composite operator whose internal structure is only
+    revealed to authorized neighbors".  Inner vertex ids are namespaced
+    ["composite/inner"], and α is consulted on the namespaced ids. *)
+
+val composite_inner_root : prover_state -> composite:Rfg.vertex_id -> string option
+(** The nested tree's root, if the vertex is a composite. *)
+
+val disclose_composite :
+  prover_state ->
+  alpha:Access_control.t ->
+  viewer:Bgp.Asn.t ->
+  composite:Rfg.vertex_id ->
+  (string * disclosure list) option
+(** [(inner_root, inner disclosures the viewer may see)]. *)
+
+val check_composite :
+  outer_root:string ->
+  composite_disclosure:disclosure ->
+  inner_root:string ->
+  inner:disclosure list ->
+  bool
+(** Authenticate a composite's internals: the composite vertex must verify
+    against the outer root with a payload committing to [inner_root], and
+    every inner disclosure must verify against [inner_root]. *)
+
+val of_evidence_disclosure : Evidence.graph_disclosure -> disclosure
+(** Convert back from the self-contained form evidence carries. *)
+
+val replay_offence :
+  Keyring.t ->
+  commit:Wire.commit Wire.signed ->
+  disclosures:Evidence.graph_disclosure list ->
+  Evidence.graph_offence ->
+  bool
+(** Third-party replay of a {!Evidence.Graph_violation}: re-verify every
+    disclosure against the committed root and re-derive the offence from
+    scratch.  [true] = the offence is confirmed (the {!Judge} then returns
+    [Guilty]); [false] = the evidence does not support the accusation. *)

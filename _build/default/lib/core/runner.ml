@@ -1,0 +1,176 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+
+type report = {
+  raised : (Adversary.detector * Evidence.t) list;
+  judged : (Adversary.detector * Evidence.t * Judge.verdict) list;
+  detected : bool;
+  convicted : bool;
+  exonerated : bool;
+  messages : int;
+  commit_bytes : int;
+}
+
+let announce_of_route keyring ~provider ~prover ~epoch route =
+  Wire.sign keyring ~as_:provider ~encode:Wire.encode_announce
+    { Wire.ann_epoch = epoch; ann_to = prover; ann_route = route }
+
+let finish keyring ~respond raised ~messages ~commit_bytes =
+  let judged =
+    List.map
+      (fun (who, e) -> (who, e, Judge.evaluate keyring ~respond e))
+      raised
+  in
+  {
+    raised;
+    judged;
+    detected = raised <> [];
+    convicted = List.exists (fun (_, _, v) -> v = Judge.Guilty) judged;
+    exonerated = List.exists (fun (_, _, v) -> v = Judge.Exonerated) judged;
+    messages;
+    commit_bytes;
+  }
+
+let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
+    ~beneficiary ~epoch ~prefix ~routes =
+  let announces =
+    List.map
+      (fun (provider, route) ->
+        (provider, announce_of_route keyring ~provider ~prover ~epoch route))
+      routes
+  in
+  let inputs = List.map snd announces in
+  let run =
+    Adversary.run_min behaviour ?max_path_len rng keyring ~prover ~beneficiary
+      ~epoch ~prefix ~inputs
+  in
+  let providers = List.map fst announces in
+  let participants = providers @ [ beneficiary ] in
+  let messages = ref (List.length announces) in
+  let commit_bytes = ref 0 in
+  (* Commitment broadcast + gossip. *)
+  let g = Gossip.create keyring in
+  let raised = ref [] in
+  List.iter
+    (fun who ->
+      let commit = run.Adversary.commit_for who in
+      incr messages;
+      commit_bytes :=
+        max !commit_bytes (String.length (Wire.encode_commit commit.Wire.payload));
+      match Gossip.receive g ~holder:who commit with
+      | Some e -> raised := (Adversary.Gossip, e) :: !raised
+      | None -> ())
+    participants;
+  let edges =
+    match gossip with
+    | `Clique -> Gossip.clique_edges participants
+    | `Ring -> Gossip.ring_edges participants
+    | `None -> []
+  in
+  messages := !messages + List.length edges;
+  List.iter
+    (fun e -> raised := (Adversary.Gossip, e) :: !raised)
+    (Gossip.run_round g ~edges);
+  (* Provider checks. *)
+  List.iter
+    (fun (provider, ann) ->
+      match
+        Gossip.view g ~holder:provider ~signer:prover ~epoch ~prefix
+          ~scheme:Proto_min.scheme
+      with
+      | None -> () (* no commitment at all: nothing to check against *)
+      | Some commit ->
+          let disclosure =
+            Option.join (List.assoc_opt provider run.Adversary.neighbor_disclosures)
+          in
+          if disclosure <> None then incr messages;
+          let evs =
+            Proto_min.check_neighbor keyring ~me:provider ~my_announce:ann
+              ~commit ~disclosure
+          in
+          List.iter
+            (fun e -> raised := (Adversary.Provider provider, e) :: !raised)
+            evs)
+    announces;
+  (* Beneficiary checks. *)
+  (match
+     Gossip.view g ~holder:beneficiary ~signer:prover ~epoch ~prefix
+       ~scheme:Proto_min.scheme
+   with
+  | None -> ()
+  | Some commit ->
+      incr messages;
+      let evs =
+        Proto_min.check_beneficiary keyring ~me:beneficiary ~commit
+          ~disclosure:run.Adversary.beneficiary_disclosure
+      in
+      List.iter
+        (fun e -> raised := (Adversary.Beneficiary, e) :: !raised)
+        evs);
+  finish keyring ~respond:run.Adversary.respond (List.rev !raised)
+    ~messages:!messages ~commit_bytes:!commit_bytes
+
+let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
+    ~promise ~routes =
+  let announces =
+    List.map
+      (fun (provider, route) ->
+        (provider, announce_of_route keyring ~provider ~prover ~epoch route))
+      routes
+  in
+  let inputs = List.map snd announces in
+  let providers = List.map fst announces in
+  let rfg =
+    Pvr_rfg.Promise.reference_rfg promise ~beneficiary ~neighbors:providers
+  in
+  let alpha =
+    Access_control.for_promise promise ~beneficiary ~neighbors:providers
+  in
+  let ps =
+    Proto_graph.prove ?max_path_len rng keyring ~prover ~epoch ~prefix ~rfg
+      ~inputs
+  in
+  let commit = Proto_graph.commit_message ps in
+  let export = Proto_graph.exported ps ~beneficiary in
+  let messages = ref (List.length announces + 1) in
+  let commit_bytes = String.length (Wire.encode_commit commit.Wire.payload) in
+  let raised = ref [] in
+  (* Gossip of the single root commitment. *)
+  let g = Gossip.create keyring in
+  List.iter
+    (fun who ->
+      match Gossip.receive g ~holder:who commit with
+      | Some e -> raised := (Adversary.Gossip, e) :: !raised
+      | None -> ())
+    (providers @ [ beneficiary ]);
+  List.iter
+    (fun e -> raised := (Adversary.Gossip, e) :: !raised)
+    (Gossip.run_round g
+       ~edges:(Gossip.clique_edges (providers @ [ beneficiary ])));
+  (* Provider checks. *)
+  List.iter
+    (fun (provider, ann) ->
+      let len = Bgp.Route.path_length ann.Wire.payload.Wire.ann_route in
+      let ds =
+        Proto_graph.disclose ~role:(`Provider len) ps ~alpha ~viewer:provider
+      in
+      incr messages;
+      let evs =
+        Proto_graph.check_provider keyring ~me:provider ~my_announce:ann
+          ~commit ~disclosures:ds
+      in
+      List.iter
+        (fun e -> raised := (Adversary.Provider provider, e) :: !raised)
+        evs)
+    announces;
+  (* Beneficiary checks. *)
+  let ds_b = Proto_graph.disclose ~role:`Beneficiary ps ~alpha ~viewer:beneficiary in
+  incr messages;
+  let evs =
+    Proto_graph.check_beneficiary keyring ~me:beneficiary ~commit
+      ~disclosures:ds_b ~export
+  in
+  List.iter (fun e -> raised := (Adversary.Beneficiary, e) :: !raised) evs;
+  finish keyring
+    ~respond:(fun ~accused:_ _ -> Judge.No_response)
+    (List.rev !raised) ~messages:!messages ~commit_bytes

@@ -1,0 +1,61 @@
+(** End-to-end verification rounds on the Figure-1 scenario.
+
+    One round: providers sign announcements → the (possibly Byzantine)
+    prover A commits, disclosing per §3.3 → neighbors gossip A's
+    commitment → every party runs its checks → all raised evidence is
+    taken to the {!Judge}, with A answering challenges according to its
+    behaviour.  Experiment E8 sweeps this over behaviours and topologies;
+    the test suite asserts the §2.3 properties on the reports. *)
+
+module Bgp = Pvr_bgp
+
+type report = {
+  raised : (Adversary.detector * Evidence.t) list;
+      (** evidence, tagged by the party that produced it *)
+  judged : (Adversary.detector * Evidence.t * Judge.verdict) list;
+  detected : bool;     (** at least one piece of evidence was raised *)
+  convicted : bool;    (** at least one piece judged [Guilty] *)
+  exonerated : bool;   (** some accusation was disproved by A *)
+  messages : int;      (** protocol messages exchanged in the round *)
+  commit_bytes : int;  (** size of A's commitment message(s) *)
+}
+
+val min_round :
+  ?gossip:[ `Clique | `Ring | `None ] ->
+  ?max_path_len:int ->
+  Adversary.behaviour ->
+  Pvr_crypto.Drbg.t ->
+  Keyring.t ->
+  prover:Bgp.Asn.t ->
+  beneficiary:Bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Bgp.Prefix.t ->
+  routes:(Bgp.Asn.t * Bgp.Route.t) list ->
+  report
+(** Run one §3.3 round.  [routes] are the provider announcements (neighbor,
+    route as it arrives at A).  Gossip topology defaults to the full
+    clique. *)
+
+val announce_of_route :
+  Keyring.t ->
+  provider:Bgp.Asn.t ->
+  prover:Bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  Bgp.Route.t ->
+  Wire.announce Wire.signed
+(** Helper shared with the graph runner and the examples. *)
+
+val graph_round :
+  ?max_path_len:int ->
+  Pvr_crypto.Drbg.t ->
+  Keyring.t ->
+  prover:Bgp.Asn.t ->
+  beneficiary:Bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Bgp.Prefix.t ->
+  promise:Pvr_rfg.Promise.t ->
+  routes:(Bgp.Asn.t * Bgp.Route.t) list ->
+  report
+(** Run one honest generalized round (§3.5–3.7): build the reference
+    route-flow graph for [promise], commit, disclose under the promise's
+    minimal α, and run every party's checks.  Used by E3. *)

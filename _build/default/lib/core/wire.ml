@@ -1,0 +1,212 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+module BU = Pvr_crypto.Bytes_util
+
+type epoch = int
+
+type 'a signed = { payload : 'a; signer : Bgp.Asn.t; signature : string }
+
+let signing_tag = "pvr-signed-v1:"
+
+let sign_with key ~as_ ~encode payload =
+  let msg = signing_tag ^ encode payload in
+  { payload; signer = as_; signature = C.Rsa.sign key msg }
+
+let sign keyring ~as_ ~encode payload =
+  sign_with (Keyring.private_key keyring as_) ~as_ ~encode payload
+
+let verify keyring ~encode s =
+  match Keyring.public_key keyring s.signer with
+  | pub ->
+      C.Rsa.verify pub ~msg:(signing_tag ^ encode s.payload)
+        ~signature:s.signature
+  | exception Not_found -> false
+
+type announce = { ann_epoch : epoch; ann_to : Bgp.Asn.t; ann_route : Bgp.Route.t }
+
+type commit = {
+  cmt_epoch : epoch;
+  cmt_prefix : Bgp.Prefix.t;
+  cmt_scheme : string;
+  cmt_commitments : string list;
+}
+
+type export = {
+  exp_epoch : epoch;
+  exp_to : Bgp.Asn.t;
+  exp_route : Bgp.Route.t;
+  exp_provenance : announce signed option;
+}
+
+let encode_announce a =
+  BU.encode_list
+    [
+      "announce";
+      BU.be32 a.ann_epoch;
+      BU.be32 (Bgp.Asn.to_int a.ann_to);
+      Bgp.Route.encode a.ann_route;
+    ]
+
+let encode_commit c =
+  BU.encode_list
+    ([
+       "commit";
+       BU.be32 c.cmt_epoch;
+       Bgp.Prefix.to_string c.cmt_prefix;
+       c.cmt_scheme;
+     ]
+    @ c.cmt_commitments)
+
+let encode_signed ~encode s =
+  BU.encode_list
+    [ encode s.payload; BU.be32 (Bgp.Asn.to_int s.signer); s.signature ]
+
+let encode_export e =
+  BU.encode_list
+    [
+      "export";
+      BU.be32 e.exp_epoch;
+      BU.be32 (Bgp.Asn.to_int e.exp_to);
+      Bgp.Route.encode e.exp_route;
+      (match e.exp_provenance with
+      | None -> ""
+      | Some ann -> encode_signed ~encode:encode_announce ann);
+    ]
+
+let equal_commit a b =
+  Bgp.Asn.equal a.signer b.signer
+  && encode_commit a.payload = encode_commit b.payload
+  && String.equal a.signature b.signature
+
+(* ---- Transport decoding -------------------------------------------------- *)
+
+let decode_list s =
+  let read_u32 pos =
+    if pos + 4 > String.length s then None
+    else Some (BU.read_be32 s pos, pos + 4)
+  in
+  match read_u32 0 with
+  | None -> None
+  | Some (count, pos) when count >= 0 && count <= String.length s ->
+      let rec items n pos acc =
+        if n = 0 then
+          if pos = String.length s then Some (List.rev acc) else None
+        else
+          match read_u32 pos with
+          | None -> None
+          | Some (len, pos) ->
+              if len < 0 || pos + len > String.length s then None
+              else items (n - 1) (pos + len) (String.sub s pos len :: acc)
+      in
+      items count pos []
+  | Some _ -> None
+
+let u32 s = if String.length s = 4 then Some (BU.read_be32 s 0) else None
+
+let asn_of s = Option.map Bgp.Asn.of_int (u32 s)
+
+let prefix_of s =
+  match Bgp.Prefix.of_string s with
+  | p -> Some p
+  | exception Invalid_argument _ -> None
+
+(* Route decoding mirrors [Bgp.Route.encode]. *)
+let route_of s =
+  match decode_list s with
+  | Some [ prefix; path; next_hop; local_pref; med; origin; communities ] ->
+      let ( let* ) = Option.bind in
+      let* prefix = prefix_of prefix in
+      let* path_items = decode_list path in
+      let* as_path =
+        List.fold_right
+          (fun item acc ->
+            match (asn_of item, acc) with
+            | Some a, Some acc -> Some (a :: acc)
+            | _ -> None)
+          path_items (Some [])
+      in
+      let* next_hop = asn_of next_hop in
+      let* local_pref = u32 local_pref in
+      let* med = u32 med in
+      let* origin_code = u32 origin in
+      let* origin =
+        match origin_code with
+        | 0 -> Some Bgp.Route.Igp
+        | 1 -> Some Bgp.Route.Egp
+        | 2 -> Some Bgp.Route.Incomplete
+        | _ -> None
+      in
+      let* comm_items = decode_list communities in
+      let* communities =
+        List.fold_right
+          (fun item acc ->
+            match acc with
+            | None -> None
+            | Some acc ->
+                if String.length item = 8 then
+                  Some
+                    ((BU.read_be32 item 0, BU.read_be32 item 4) :: acc)
+                else None)
+          comm_items (Some [])
+      in
+      Some
+        {
+          Bgp.Route.prefix;
+          as_path;
+          next_hop;
+          local_pref;
+          med;
+          origin;
+          communities;
+        }
+  | _ -> None
+
+let decode_announce s =
+  match decode_list s with
+  | Some [ tag; epoch; to_; route ] when tag = "announce" ->
+      let ( let* ) = Option.bind in
+      let* ann_epoch = u32 epoch in
+      let* ann_to = asn_of to_ in
+      let* ann_route = route_of route in
+      Some { ann_epoch; ann_to; ann_route }
+  | _ -> None
+
+let decode_signed_raw ~decode s =
+  match decode_list s with
+  | Some [ payload_enc; signer; signature ] ->
+      let ( let* ) = Option.bind in
+      let* payload = decode payload_enc in
+      let* signer = asn_of signer in
+      Some { payload; signer; signature }
+  | _ -> None
+
+let decode_export_opt s =
+  if s = "" then Some None
+  else
+    Option.map
+      (fun ann -> Some ann)
+      (decode_signed_raw ~decode:decode_announce s)
+
+let decode_commit s =
+  match decode_list s with
+  | Some (tag :: epoch :: prefix :: scheme :: commitments) when tag = "commit"
+    ->
+      let ( let* ) = Option.bind in
+      let* cmt_epoch = u32 epoch in
+      let* cmt_prefix = prefix_of prefix in
+      Some { cmt_epoch; cmt_prefix; cmt_scheme = scheme;
+             cmt_commitments = commitments }
+  | _ -> None
+
+let decode_export s =
+  match decode_list s with
+  | Some [ tag; epoch; to_; route; provenance ] when tag = "export" ->
+      let ( let* ) = Option.bind in
+      let* exp_epoch = u32 epoch in
+      let* exp_to = asn_of to_ in
+      let* exp_route = route_of route in
+      let* exp_provenance = decode_export_opt provenance in
+      Some { exp_epoch; exp_to; exp_route; exp_provenance }
+  | _ -> None
+
+let decode_signed ~decode s = decode_signed_raw ~decode s

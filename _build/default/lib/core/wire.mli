@@ -1,0 +1,81 @@
+(** Signed protocol messages.
+
+    Everything a PVR participant may later have to show a third party is a
+    [signed] statement with an injective byte encoding; signatures are RSA
+    over SHA-256 ({!Pvr_crypto.Rsa}).  Epochs number the verification
+    rounds: commitments from different epochs never mix. *)
+
+module Bgp = Pvr_bgp
+
+type epoch = int
+
+type 'a signed = private { payload : 'a; signer : Bgp.Asn.t; signature : string }
+
+val sign :
+  Keyring.t -> as_:Bgp.Asn.t -> encode:('a -> string) -> 'a -> 'a signed
+(** Sign a payload with the AS's key from the keyring. *)
+
+val sign_with :
+  Pvr_crypto.Rsa.private_key -> as_:Bgp.Asn.t -> encode:('a -> string) -> 'a -> 'a signed
+(** Sign with an explicit key — used by the forgery adversary, whose key
+    does {e not} match its claimed identity. *)
+
+val verify : Keyring.t -> encode:('a -> string) -> 'a signed -> bool
+(** Check the signature against the signer's public key in the keyring.
+    Returns [false] (never raises) for unknown signers. *)
+
+(** {2 Statements} *)
+
+type announce = {
+  ann_epoch : epoch;
+  ann_to : Bgp.Asn.t;      (** the AS being given the route (A) *)
+  ann_route : Bgp.Route.t;
+}
+(** N_i's signed route announcement to A ("we can sign all the routing
+    announcements", §3.2). *)
+
+type commit = {
+  cmt_epoch : epoch;
+  cmt_prefix : Bgp.Prefix.t;
+  cmt_scheme : string;  (** ["exists"], ["min"] or ["graph"] *)
+  cmt_commitments : string list;
+      (** the published digests: [c] (§3.2), [c_1..c_k] (§3.3), or the
+          vertex-MHT root (§3.6) *)
+}
+(** A's commitment message, broadcast to all neighbors and gossiped. *)
+
+type export = {
+  exp_epoch : epoch;
+  exp_to : Bgp.Asn.t;     (** the beneficiary (B) *)
+  exp_route : Bgp.Route.t;
+  exp_provenance : announce signed option;
+      (** the original signed announcement of the chosen input route, which
+          B uses for §3.2 condition 1 *)
+}
+(** A's route export to B. *)
+
+val encode_announce : announce -> string
+val encode_commit : commit -> string
+val encode_export : export -> string
+
+val encode_signed : encode:('a -> string) -> 'a signed -> string
+(** Encoding of a signed statement including its signature (used when a
+    signed statement is nested inside another or inside evidence). *)
+
+val equal_commit : commit signed -> commit signed -> bool
+(** Same signer, same payload bytes, same signature. *)
+
+(** {2 Transport decoding}
+
+    [encode_signed] above is the transport format; these parse it back.
+    Decoded values are {e unverified} until {!verify} is run on them —
+    decoding never checks signatures, and malformed input yields [None],
+    never an exception. *)
+
+val decode_announce : string -> announce option
+val decode_commit : string -> commit option
+val decode_export : string -> export option
+
+val decode_signed :
+  decode:(string -> 'a option) -> string -> 'a signed option
+(** Inverse of {!encode_signed}. *)

@@ -1,0 +1,1 @@
+lib/crypto/bigint.ml: Array Buffer Char Drbg Format Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/commitment.ml: Bytes_util Drbg Hex Sha256 String

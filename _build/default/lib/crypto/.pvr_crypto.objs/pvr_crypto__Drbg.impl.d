@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Array Buffer Char Hmac String

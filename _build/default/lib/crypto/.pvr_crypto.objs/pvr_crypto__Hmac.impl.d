@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes_util Hex Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/ring_signature.ml: Array Bigint Bytes_util Chacha20 Drbg Hmac List Rsa Sha256 String

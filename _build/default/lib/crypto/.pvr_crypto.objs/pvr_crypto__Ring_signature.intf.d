@@ -1,0 +1,1 @@
+lib/crypto/ring_signature.mli: Drbg Rsa

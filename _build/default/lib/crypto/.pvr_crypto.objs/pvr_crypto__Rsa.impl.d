@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bigint Bytes_util Hex Prime Sha256 String

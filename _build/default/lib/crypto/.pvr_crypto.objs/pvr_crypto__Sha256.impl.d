@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Bytes Bytes_util Hex Int64 String

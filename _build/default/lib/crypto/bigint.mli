@@ -1,0 +1,88 @@
+(** Arbitrary-precision natural numbers.
+
+    The sealed build environment has no [zarith], so RSA and the ring
+    signature run on this module: little-endian arrays of 31-bit limbs, with
+    schoolbook and Karatsuba multiplication, Knuth Algorithm-D division,
+    square-and-multiply modular exponentiation, and binary extended GCD.
+
+    All values are non-negative; {!sub} raises on underflow.  Values are
+    immutable and canonical (no most-significant zero limbs), so structural
+    equality coincides with numeric equality. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+(** @raise Failure if the value exceeds [max_int]. *)
+
+val of_string : string -> t
+(** Parse a decimal string, or hex with a ["0x"] prefix. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_bytes_be : string -> t
+(** Interpret a byte string as a big-endian natural number. *)
+
+val to_bytes_be : ?pad_to:int -> t -> string
+(** Minimal big-endian byte representation; [pad_to] left-pads with zero
+    bytes to a fixed width (raises if the value does not fit). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_even : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val mul : t -> t -> t
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].  @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** Number of significant bits; 0 for zero. *)
+
+val test_bit : t -> int -> bool
+
+val add_int : t -> int -> t
+val sub_int : t -> int -> t
+val mul_int : t -> int -> t
+val rem_int : t -> int -> int
+(** Remainder by a positive native int. *)
+
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+(** Modular exponentiation by square-and-multiply.
+    @raise Division_by_zero if [modulus] is zero. *)
+
+val gcd : t -> t -> t
+
+val mod_inv : t -> t -> t
+(** [mod_inv a m] is the inverse of [a] modulo [m].
+    @raise Not_found if [gcd a m <> 1]. *)
+
+val random_bits : Drbg.t -> int -> t
+(** Uniform value with at most [n] bits. *)
+
+val random_below : Drbg.t -> t -> t
+(** Uniform in [\[0, bound)] by rejection sampling.
+    @raise Invalid_argument if the bound is zero. *)
+
+val random_odd_bits : Drbg.t -> int -> t
+(** Uniform odd value with exactly [n] bits (top and bottom bits set);
+    used by prime generation.  Requires [n >= 2]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+let mask32 = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let block ~key ~counter ~nonce =
+  if String.length key <> 32 then invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> 12 then
+    invalid_arg "Chacha20: nonce must be 12 bytes";
+  let st = Array.make 16 0 in
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- Bytes_util.read_le32 key (4 * i)
+  done;
+  st.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    st.(13 + i) <- Bytes_util.read_le32 nonce (4 * i)
+  done;
+  let init = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Buffer.create 64 in
+  for i = 0 to 15 do
+    Buffer.add_string out (Bytes_util.le32 ((st.(i) + init.(i)) land mask32))
+  done;
+  Buffer.contents out
+
+let encrypt ~key ~nonce ?(counter = 0) msg =
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let nblocks = (len + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~counter:(counter + b) ~nonce in
+    let off = 64 * b in
+    let n = min 64 (len - off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code msg.[off + i] lxor Char.code ks.[i]))
+    done
+  done;
+  Bytes.unsafe_to_string out

@@ -1,0 +1,14 @@
+(** ChaCha20 stream cipher (RFC 8439).
+
+    The Rivest–Shamir–Tauman ring signature of {!Ring_signature} needs a
+    keyed symmetric permutation E_k; we instantiate it with ChaCha20 in
+    counter mode, which also serves as the fast entropy expander inside
+    {!Drbg} when long random strings are required. *)
+
+val block : key:string -> counter:int -> nonce:string -> string
+(** [block ~key ~counter ~nonce] is the 64-byte keystream block.
+    @raise Invalid_argument unless [key] is 32 bytes and [nonce] 12 bytes. *)
+
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** XOR the input with the keystream starting at [counter] (default 0).
+    Encryption and decryption are the same operation. *)

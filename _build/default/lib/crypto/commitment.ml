@@ -1,0 +1,29 @@
+type commitment = string
+
+type opening = { value : string; nonce : string }
+
+let tag = "pvr-commit-v1:"
+
+let commit_with_nonce ~nonce value =
+  Sha256.digest (tag ^ Bytes_util.encode_list [ value; nonce ])
+
+let commit rng value =
+  let nonce = Drbg.generate rng 32 in
+  (commit_with_nonce ~nonce value, { value; nonce })
+
+let verify c { value; nonce } =
+  Bytes_util.equal_ct c (commit_with_nonce ~nonce value)
+
+let bit_string b = if b then "1" else "0"
+
+let commit_bit rng b = commit rng (bit_string b)
+
+let opening_bit o =
+  match o.value with "0" -> Some false | "1" -> Some true | _ -> None
+
+let to_hex c = Hex.encode c
+
+let of_raw s =
+  if String.length s <> Sha256.digest_size then
+    invalid_arg "Commitment.of_raw: expected a 32-byte digest";
+  s

@@ -1,0 +1,37 @@
+(** Hash commitments, the first PVR building block (§3.4).
+
+    §3.2: "A can do this by publishing a commitment c := H(b || p), where H
+    is a cryptographic hash function and p is a random bitstring."  The
+    nonce is mandatory — the paper's footnote 2 notes that without it a
+    neighbor could brute-force small domains (c = H(0) or c = H(1)).
+
+    A commitment is hiding (the digest reveals nothing about the value, given
+    the 32-byte random nonce) and binding (opening to a different value
+    requires a SHA-256 collision). *)
+
+type commitment = private string
+(** The published digest (32 bytes).  Comparable with [=]. *)
+
+type opening = { value : string; nonce : string }
+(** What the committer reveals to authorized parties. *)
+
+val commit : Drbg.t -> string -> commitment * opening
+(** Commit to an arbitrary byte string with a fresh 32-byte nonce. *)
+
+val commit_with_nonce : nonce:string -> string -> commitment
+(** Deterministic form, for recomputation during verification. *)
+
+val verify : commitment -> opening -> bool
+(** Does the opening match the commitment? Constant-time comparison. *)
+
+val commit_bit : Drbg.t -> bool -> commitment * opening
+(** Commitment to a single bit, as in §3.2 / §3.3 (bits b, b_1 .. b_k). *)
+
+val opening_bit : opening -> bool option
+(** Interpret an opening's value as a bit; [None] if it is not ["0"]/["1"]. *)
+
+val to_hex : commitment -> string
+
+val of_raw : string -> commitment
+(** Treat a received 32-byte string as a commitment digest.
+    @raise Invalid_argument on wrong length. *)

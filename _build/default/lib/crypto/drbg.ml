@@ -1,0 +1,70 @@
+(* HMAC-DRBG per SP 800-90A §10.1.2, with SHA-256.  No prediction-resistance
+   reseeding schedule: this generator is for reproducible experiments, not a
+   production entropy source, so we deliberately never block on entropy. *)
+
+type t = { mutable k : string; mutable v : string }
+
+let update t provided =
+  t.k <- Hmac.mac ~key:t.k (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.mac ~key:t.k t.v;
+  if provided <> "" then begin
+    t.k <- Hmac.mac ~key:t.k (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.mac ~key:t.k t.v
+  end
+
+let create ~seed =
+  let t = { k = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let of_int_seed n = create ~seed:("int-seed:" ^ string_of_int n)
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.mac ~key:t.k t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let reseed t entropy = update t entropy
+
+(* Rejection sampling over the smallest power-of-two envelope of [bound]. *)
+let uniform_int t bound =
+  if bound <= 0 then invalid_arg "Drbg.uniform_int: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    let bits =
+      let rec needed b = if 1 lsl b >= bound then b else needed (b + 1) in
+      needed 1
+    in
+    let bytes = (bits + 7) / 8 in
+    let mask = (1 lsl bits) - 1 in
+    let rec draw () =
+      let s = generate t bytes in
+      let v = ref 0 in
+      String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+      let v = !v land mask in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+
+let bool t = uniform_int t 2 = 1
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Drbg.pick: empty array";
+  arr.(uniform_int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = uniform_int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t label =
+  let child_seed = generate t 32 ^ "split:" ^ label in
+  create ~seed:child_seed

@@ -1,0 +1,36 @@
+(** Deterministic random-bit generator (HMAC-DRBG, NIST SP 800-90A).
+
+    Every randomized component in this repository (commitment nonces, RSA key
+    generation, workload generators) draws from a [Drbg.t] seeded explicitly,
+    so all experiments are reproducible bit-for-bit from their seeds. *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from an arbitrary seed string (the personalization string). *)
+
+val of_int_seed : int -> t
+(** Convenience: seed from an integer. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] fresh pseudorandom bytes and advances the
+    state. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t bound] is uniform in [\[0, bound)], via rejection
+    sampling (no modulo bias).  @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> string -> t
+(** [split t label] derives an independent child generator; children with
+    distinct labels produce independent streams.  The parent advances. *)

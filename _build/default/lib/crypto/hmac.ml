@@ -1,0 +1,15 @@
+let block = Sha256.block_size
+
+let normalize_key key =
+  let key = if String.length key > block then Sha256.digest key else key in
+  key ^ String.make (block - String.length key) '\x00'
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let ipad = Bytes_util.xor key (String.make block '\x36') in
+  let opad = Bytes_util.xor key (String.make block '\x5c') in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let mac_hex ~key msg = Hex.encode (mac ~key msg)
+
+let verify ~key msg ~tag = Bytes_util.equal_ct (mac ~key msg) tag

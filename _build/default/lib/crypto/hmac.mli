@@ -1,0 +1,14 @@
+(** HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+
+    Used by {!Drbg} for deterministic random-bit generation and available as
+    a keyed integrity primitive for PVR transport messages. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA-256 tag of [msg] under [key].
+    Keys of any length are accepted (hashed down if longer than one block). *)
+
+val mac_hex : key:string -> string -> string
+(** Hex-encoded variant of {!mac}. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time tag check. *)

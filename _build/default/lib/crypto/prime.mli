@@ -1,0 +1,13 @@
+(** Probabilistic primality testing and prime generation (for RSA keygen). *)
+
+val is_probably_prime : ?rounds:int -> Drbg.t -> Bigint.t -> bool
+(** Miller–Rabin with [rounds] random bases (default 32), preceded by trial
+    division by small primes.  Error probability at most 4^-rounds for a
+    composite input. *)
+
+val generate : Drbg.t -> bits:int -> Bigint.t
+(** Random prime of exactly [bits] bits (top two bits set so that the product
+    of two such primes has exactly [2*bits] bits).  Requires [bits >= 4]. *)
+
+val small_primes : int array
+(** The primes below 1000, used for trial division and available to tests. *)

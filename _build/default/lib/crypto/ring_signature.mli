@@ -1,0 +1,38 @@
+(** Ring signatures (Rivest–Shamir–Tauman, "How to Leak a Secret",
+    ASIACRYPT 2001) over RSA trapdoor permutations.
+
+    §3.2 of the paper: when PVR is applied to a link-state protocol that only
+    exports whether a path exists, the N_i sign the statement "a route
+    exists" with a ring signature, so B learns that {e some} N_i provided a
+    route without learning which one.
+
+    The combining function is the RST ring equation
+    z_{i+1} = E_k(z_i xor y_i) with z_0 = z_r = v, where E_k is a 4-round
+    Feistel permutation over the common domain (keyed by the message hash)
+    and y_i = g_i(x_i) extends each member's RSA permutation to the common
+    domain. *)
+
+type t
+(** A ring signature: the glue value and one x_i per ring member. *)
+
+val sign :
+  Drbg.t ->
+  ring:Rsa.public_key array ->
+  signer:int ->
+  key:Rsa.private_key ->
+  string ->
+  t
+(** [sign rng ~ring ~signer ~key msg] produces a signature proving that the
+    holder of one of the [ring] keys signed [msg], where [ring.(signer)]
+    equals [key.pub].
+    @raise Invalid_argument if [signer] is out of range or the key does not
+    match the ring slot. *)
+
+val verify : ring:Rsa.public_key array -> msg:string -> t -> bool
+
+val ring_size : t -> int
+
+val encode : t -> string
+(** Serialization (for gossip / evidence transcripts). *)
+
+val decode : string -> t option

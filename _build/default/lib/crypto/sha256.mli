@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    This is the cryptographic hash the paper names in §3.8 as the main PVR
+    primitive ("The most expensive operations we have used are a
+    cryptographic hash-function (such as SHA-256) ... and a public-key
+    signature scheme").  The streaming interface supports incremental
+    hashing of BGP message batches. *)
+
+type ctx
+(** Mutable hashing context. *)
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** Absorb more input.  May be called any number of times. *)
+
+val finalize : ctx -> string
+(** Produce the 32-byte digest.  The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot hash: 32-byte (raw, not hex) digest of the input. *)
+
+val digest_hex : string -> string
+(** One-shot hash, hex-encoded (64 characters). *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64 — needed by HMAC. *)

@@ -1,0 +1,1 @@
+lib/merkle/bitstring.ml: Bytes Char Format List Pvr_crypto String

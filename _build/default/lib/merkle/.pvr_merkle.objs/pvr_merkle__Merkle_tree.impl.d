@@ -1,0 +1,1 @@
+lib/merkle/merkle_tree.ml: Array List Pvr_crypto String

@@ -1,0 +1,1 @@
+lib/merkle/prefix_tree.ml: Array Bitstring List Pvr_crypto String

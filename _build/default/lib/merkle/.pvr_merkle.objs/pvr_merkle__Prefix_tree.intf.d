@@ -1,0 +1,1 @@
+lib/merkle/prefix_tree.mli: Bitstring

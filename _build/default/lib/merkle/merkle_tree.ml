@@ -1,0 +1,130 @@
+module H = Pvr_crypto.Sha256
+module BU = Pvr_crypto.Bytes_util
+
+(* Domain-separated hashing prevents leaf/node confusion attacks. *)
+let leaf_hash v = H.digest ("mt-leaf:" ^ v)
+let node_hash l r = H.digest ("mt-node:" ^ l ^ r)
+let empty_root = H.digest "mt-empty"
+
+type t = { levels : string array array; n : int }
+(* [levels.(0)] are leaf hashes; each higher level pairs the one below.  An
+   odd node is promoted by hashing with itself (Bitcoin-style duplication is
+   avoided: we carry the node up unchanged to keep proofs minimal). *)
+
+let build leaves =
+  let n = List.length leaves in
+  if n = 0 then { levels = [| [||] |]; n = 0 }
+  else begin
+    let level0 = Array.of_list (List.map leaf_hash leaves) in
+    let rec up acc level =
+      if Array.length level <= 1 then List.rev (level :: acc)
+      else begin
+        let m = Array.length level in
+        let next =
+          Array.init ((m + 1) / 2) (fun i ->
+              if (2 * i) + 1 < m then node_hash level.(2 * i) level.((2 * i) + 1)
+              else level.(2 * i))
+        in
+        up (level :: acc) next
+      end
+    in
+    { levels = Array.of_list (up [] level0); n }
+  end
+
+let root t =
+  if t.n = 0 then empty_root
+  else begin
+    let top = t.levels.(Array.length t.levels - 1) in
+    top.(0)
+  end
+
+let size t = t.n
+
+type proof = { index : int; path : (string * [ `Left | `Right ]) list }
+
+let prove t index =
+  if index < 0 || index >= t.n then invalid_arg "Merkle_tree.prove: index";
+  let path = ref [] in
+  let i = ref index in
+  for level = 0 to Array.length t.levels - 2 do
+    let nodes = t.levels.(level) in
+    let sibling = if !i mod 2 = 0 then !i + 1 else !i - 1 in
+    if sibling < Array.length nodes then
+      path :=
+        (nodes.(sibling), if sibling < !i then `Left else `Right) :: !path;
+    i := !i / 2
+  done;
+  { index; path = List.rev !path }
+
+let verify ~root:expected ~leaf proof =
+  let acc = ref (leaf_hash leaf) in
+  List.iter
+    (fun (sib, side) ->
+      acc :=
+        match side with
+        | `Left -> node_hash sib !acc
+        | `Right -> node_hash !acc sib)
+    proof.path;
+  BU.equal_ct !acc expected
+
+let encode_proof p =
+  BU.encode_list
+    (BU.be32 p.index
+    :: List.map
+         (fun (h, side) -> (match side with `Left -> "L" | `Right -> "R") ^ h)
+         p.path)
+
+let decode_proof s =
+  let read_u32 pos =
+    if pos + 4 > String.length s then None
+    else Some (BU.read_be32 s pos, pos + 4)
+  in
+  let read_item pos =
+    match read_u32 pos with
+    | None -> None
+    | Some (len, pos) ->
+        if pos + len > String.length s then None
+        else Some (String.sub s pos len, pos + len)
+  in
+  match read_u32 0 with
+  | None -> None
+  | Some (count, pos) when count >= 1 -> begin
+      let rec items n pos acc =
+        if n = 0 then
+          if pos = String.length s then Some (List.rev acc) else None
+        else
+          match read_item pos with
+          | None -> None
+          | Some (item, pos) -> items (n - 1) pos (item :: acc)
+      in
+      match items count pos [] with
+      | Some (idx :: rest) when String.length idx = 4 -> begin
+          let index = BU.read_be32 idx 0 in
+          let step item =
+            if String.length item <> 33 then None
+            else
+              let side =
+                match item.[0] with
+                | 'L' -> Some `Left
+                | 'R' -> Some `Right
+                | _ -> None
+              in
+              match side with
+              | None -> None
+              | Some side -> Some (String.sub item 1 32, side)
+          in
+          let rec map_all = function
+            | [] -> Some []
+            | x :: xs -> begin
+                match (step x, map_all xs) with
+                | Some y, Some ys -> Some (y :: ys)
+                | _ -> None
+              end
+          in
+          match map_all rest with
+          | Some path -> Some { index; path }
+          | None -> None
+        end
+      | _ -> None
+    end
+  | Some _ -> None

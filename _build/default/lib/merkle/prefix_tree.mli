@@ -1,0 +1,48 @@
+(** The §3.6 commitment structure: a Merkle hash tree whose (conceptual)
+    leaves are addressed by prefix-free bitstrings.
+
+    The network instantiates only a) the leaves that exist, b) the inner
+    nodes on root-to-leaf paths, and c) the immediate children of those
+    inner nodes.  An uninstantiated child is represented by a *blinded*
+    digest derived from a per-tree secret seed and the child's position, so
+    a neighbor receiving a disclosure proof "does not know whether the hash
+    values are random bitstrings or hashes of 'real' interior nodes" — the
+    proof reveals nothing about the presence or absence of any other vertex
+    (structural privacy of selective disclosure).
+
+    The root digest is what the network signs and publishes (the commitment
+    mechanism of §3.4); {!prove} implements the selective-disclosure
+    mechanism. *)
+
+type t
+
+val build : seed:string -> (Bitstring.t * string) list -> t
+(** [build ~seed entries] commits to every [(path, value)] pair.  [seed] is
+    the committer's private blinding secret.
+    @raise Invalid_argument if the paths are not prefix-free or the list
+    contains a duplicate path. *)
+
+val root : t -> string
+(** The 32-byte root digest to be signed and gossiped. *)
+
+val cardinal : t -> int
+
+val mem : t -> Bitstring.t -> bool
+
+val find : t -> Bitstring.t -> string option
+(** The committed value at a path, if any. *)
+
+type proof
+(** A selective-disclosure proof: the sibling digests along one path. *)
+
+val prove : t -> Bitstring.t -> (string * proof) option
+(** [prove t path] is [Some (value, proof)] if the path is instantiated. *)
+
+val verify : root:string -> path:Bitstring.t -> value:string -> proof -> bool
+(** Recompute the root from the disclosed value and the proof. *)
+
+val proof_length : proof -> int
+(** Number of sibling digests (equals the path length). *)
+
+val encode_proof : proof -> string
+val decode_proof : string -> proof option

@@ -1,0 +1,1 @@
+lib/rfg/compiler.ml: Buffer Format List Printf Promise Pvr_bgp String

@@ -1,0 +1,1 @@
+lib/rfg/compiler.mli: Format Promise Pvr_bgp Rfg

@@ -1,0 +1,1 @@
+lib/rfg/operator.ml: Char Format List Option Printf Pvr_bgp Pvr_crypto String

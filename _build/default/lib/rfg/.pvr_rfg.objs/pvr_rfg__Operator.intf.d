@@ -1,0 +1,1 @@
+lib/rfg/operator.mli: Format Pvr_bgp

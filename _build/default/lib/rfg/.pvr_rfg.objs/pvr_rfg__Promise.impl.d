@@ -1,0 +1,1 @@
+lib/rfg/promise.ml: List Operator Printf Pvr_bgp Rfg String

@@ -1,0 +1,1 @@
+lib/rfg/promise.mli: Pvr_bgp Rfg

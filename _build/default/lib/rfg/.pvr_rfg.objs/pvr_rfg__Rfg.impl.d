@@ -1,0 +1,1 @@
+lib/rfg/rfg.ml: Format List Map Operator Option Printf Pvr_bgp String

@@ -1,0 +1,1 @@
+lib/rfg/rfg.mli: Format Map Operator Pvr_bgp String

@@ -1,0 +1,1 @@
+lib/rfg/static_check.ml: Format List Operator Option Promise Pvr_bgp Rfg String

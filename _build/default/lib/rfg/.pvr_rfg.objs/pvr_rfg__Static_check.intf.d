@@ -1,0 +1,1 @@
+lib/rfg/static_check.mli: Format Promise Pvr_bgp Rfg

@@ -1,0 +1,349 @@
+module Bgp = Pvr_bgp
+
+type config = {
+  owner : Bgp.Asn.t;
+  promises : (Bgp.Asn.t * Promise.t) list;
+  imports : (Bgp.Asn.t * Bgp.Policy.t) list;
+  exports : (Bgp.Asn.t * Bgp.Policy.t) list;
+}
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+(* ---- Lexer -------------------------------------------------------------- *)
+
+type token = { text : string; line : int }
+
+let tokenize src =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let line = ref 1 in
+  let flush_word () =
+    if Buffer.length buf > 0 then begin
+      tokens := { text = Buffer.contents buf; line = !line } :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let emit c =
+    flush_word ();
+    tokens := { text = String.make 1 c; line = !line } :: !tokens
+  in
+  let in_comment = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' ->
+          flush_word ();
+          in_comment := false;
+          incr line
+      | _ when !in_comment -> ()
+      | '#' ->
+          flush_word ();
+          in_comment := true
+      | ' ' | '\t' | '\r' -> flush_word ()
+      | '{' | '}' | ';' -> emit c
+      | _ -> Buffer.add_char buf c)
+    src;
+  flush_word ();
+  List.rev !tokens
+
+(* ---- Parser ------------------------------------------------------------- *)
+
+exception Parse_error of error
+
+let fail line message = raise (Parse_error { line; message })
+
+type stream = { mutable toks : token list; mutable last_line : int }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let next s =
+  match s.toks with
+  | [] -> fail s.last_line "unexpected end of input"
+  | t :: rest ->
+      s.toks <- rest;
+      s.last_line <- t.line;
+      t
+
+let expect s text =
+  let t = next s in
+  if t.text <> text then
+    fail t.line (Printf.sprintf "expected %S, found %S" text t.text)
+
+let accept s text =
+  match peek s with
+  | Some t when t.text = text ->
+      ignore (next s);
+      true
+  | _ -> false
+
+let parse_asn s =
+  let t = next s in
+  let n =
+    if String.length t.text > 2 && String.sub t.text 0 2 = "AS" then
+      int_of_string_opt (String.sub t.text 2 (String.length t.text - 2))
+    else None
+  in
+  match n with
+  | Some n when n >= 0 -> Bgp.Asn.of_int n
+  | _ -> fail t.line (Printf.sprintf "expected an AS number, found %S" t.text)
+
+let parse_int s =
+  let t = next s in
+  match int_of_string_opt t.text with
+  | Some n -> n
+  | None -> fail t.line (Printf.sprintf "expected a number, found %S" t.text)
+
+let parse_prefix s =
+  let t = next s in
+  match Bgp.Prefix.of_string t.text with
+  | p -> p
+  | exception Invalid_argument _ ->
+      fail t.line (Printf.sprintf "expected a prefix, found %S" t.text)
+
+let parse_community s =
+  let t = next s in
+  match String.split_on_char ':' t.text with
+  | [ a; v ] -> begin
+      match (int_of_string_opt a, int_of_string_opt v) with
+      | Some a, Some v -> (a, v)
+      | _ -> fail t.line "expected a community like 65000:1"
+    end
+  | _ -> fail t.line "expected a community like 65000:1"
+
+(* One or more AS numbers, up to (not consuming) a keyword/terminator. *)
+let parse_asn_list s =
+  let rec go acc =
+    match peek s with
+    | Some t
+      when String.length t.text > 2
+           && String.sub t.text 0 2 = "AS"
+           && int_of_string_opt (String.sub t.text 2 (String.length t.text - 2))
+              <> None ->
+        go (parse_asn s :: acc)
+    | _ -> List.rev acc
+  in
+  let asns = go [] in
+  if asns = [] then fail s.last_line "expected at least one AS number";
+  asns
+
+let parse_promise_body s =
+  let t = next s in
+  match t.text with
+  | "shortest" -> Promise.Shortest_route
+  | "shortest-from" -> Promise.Shortest_from (parse_asn_list s)
+  | "within-hops" -> Promise.Within_hops (parse_int s)
+  | "no-longer-than-others" -> Promise.No_longer_than_others
+  | "export-if-any" -> Promise.Export_if_any (parse_asn_list s)
+  | "prefer" ->
+      let fallback = parse_asn_list s in
+      expect s "unless-shorter";
+      let override = parse_asn s in
+      Promise.Prefer_unless_shorter { fallback; override }
+  | other -> fail t.line (Printf.sprintf "unknown promise %S" other)
+
+let parse_cond s =
+  let t = next s in
+  match t.text with
+  | "prefix" -> Bgp.Policy.Match_prefix_exact (parse_prefix s)
+  | "prefix-in" -> Bgp.Policy.Match_prefix_in (parse_prefix s)
+  | "community" -> Bgp.Policy.Match_community (parse_community s)
+  | "path-has" -> Bgp.Policy.Match_as_in_path (parse_asn s)
+  | "from" -> Bgp.Policy.Match_next_hop (parse_asn s)
+  | "pathlen-le" -> Bgp.Policy.Match_path_length_le (parse_int s)
+  | "any" -> Bgp.Policy.Match_any
+  | other -> fail t.line (Printf.sprintf "unknown condition %S" other)
+
+let is_verdict t = t = "accept" || t = "reject"
+
+let parse_action s =
+  let t = next s in
+  match t.text with
+  | "set-local-pref" -> Bgp.Policy.Set_local_pref (parse_int s)
+  | "set-med" -> Bgp.Policy.Set_med (parse_int s)
+  | "add-community" -> Bgp.Policy.Add_community (parse_community s)
+  | "prepend" -> Bgp.Policy.Prepend (Bgp.Asn.of_int 0, parse_int s)
+  | other -> fail t.line (Printf.sprintf "unknown action %S" other)
+
+(* clause := ["if" cond ("and" cond)*] ["then" action*] verdict ";" *)
+let parse_clause s ~owner =
+  let matches =
+    if accept s "if" then begin
+      let rec go acc =
+        let c = parse_cond s in
+        if accept s "and" then go (c :: acc) else List.rev (c :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let actions =
+    if accept s "then" then begin
+      let rec go acc =
+        match peek s with
+        | Some t when (not (is_verdict t.text)) && t.text <> ";" ->
+            go (parse_action s :: acc)
+        | _ -> List.rev acc
+      in
+      go []
+    end
+    else []
+  in
+  (* Fill in the owner ASN for prepend actions. *)
+  let actions =
+    List.map
+      (function
+        | Bgp.Policy.Prepend (_, n) -> Bgp.Policy.Prepend (owner, n)
+        | a -> a)
+      actions
+  in
+  let t = next s in
+  let verdict =
+    match t.text with
+    | "accept" -> Bgp.Policy.Accept
+    | "reject" -> Bgp.Policy.Reject
+    | other -> fail t.line (Printf.sprintf "expected accept/reject, found %S" other)
+  in
+  expect s ";";
+  { Bgp.Policy.matches; actions; verdict }
+
+let parse_clause_block s ~owner =
+  expect s "{";
+  let rec go acc =
+    if accept s "}" then List.rev acc else go (parse_clause s ~owner :: acc)
+  in
+  go []
+
+let parse_config s =
+  expect s "policy";
+  expect s "for";
+  let owner = parse_asn s in
+  expect s "{";
+  let promises = ref [] and imports = ref [] and exports = ref [] in
+  let rec items () =
+    if accept s "}" then ()
+    else begin
+      let t = next s in
+      (match t.text with
+      | "promise" ->
+          expect s "to";
+          let beneficiary = parse_asn s in
+          expect s "=";
+          let p = parse_promise_body s in
+          expect s ";";
+          promises := (beneficiary, p) :: !promises
+      | "import" ->
+          expect s "from";
+          let neighbor = parse_asn s in
+          imports := (neighbor, parse_clause_block s ~owner) :: !imports
+      | "export" ->
+          expect s "to";
+          let neighbor = parse_asn s in
+          exports := (neighbor, parse_clause_block s ~owner) :: !exports
+      | other -> fail t.line (Printf.sprintf "unexpected %S" other));
+      items ()
+    end
+  in
+  items ();
+  (match peek s with
+  | Some t -> fail t.line (Printf.sprintf "trailing input: %S" t.text)
+  | None -> ());
+  {
+    owner;
+    promises = List.rev !promises;
+    imports = List.rev !imports;
+    exports = List.rev !exports;
+  }
+
+let parse src =
+  let s = { toks = tokenize src; last_line = 1 } in
+  match parse_config s with
+  | config -> Ok config
+  | exception Parse_error e -> Error e
+
+let compile config ~neighbors =
+  List.map
+    (fun (beneficiary, promise) ->
+      (beneficiary, promise, Promise.reference_rfg promise ~beneficiary ~neighbors))
+    config.promises
+
+(* ---- Renderer ----------------------------------------------------------- *)
+
+let render_promise = function
+  | Promise.Shortest_route -> "shortest"
+  | Promise.Shortest_from asns ->
+      "shortest-from "
+      ^ String.concat " " (List.map Bgp.Asn.to_string asns)
+  | Promise.Within_hops n -> "within-hops " ^ string_of_int n
+  | Promise.No_longer_than_others -> "no-longer-than-others"
+  | Promise.Export_if_any asns ->
+      "export-if-any "
+      ^ String.concat " " (List.map Bgp.Asn.to_string asns)
+  | Promise.Prefer_unless_shorter { fallback; override } ->
+      "prefer "
+      ^ String.concat " " (List.map Bgp.Asn.to_string fallback)
+      ^ " unless-shorter "
+      ^ Bgp.Asn.to_string override
+
+let render_cond = function
+  | Bgp.Policy.Match_prefix_exact p -> "prefix " ^ Bgp.Prefix.to_string p
+  | Bgp.Policy.Match_prefix_in p -> "prefix-in " ^ Bgp.Prefix.to_string p
+  | Bgp.Policy.Match_community (a, v) -> Printf.sprintf "community %d:%d" a v
+  | Bgp.Policy.Match_as_in_path a -> "path-has " ^ Bgp.Asn.to_string a
+  | Bgp.Policy.Match_next_hop a -> "from " ^ Bgp.Asn.to_string a
+  | Bgp.Policy.Match_path_length_le n -> "pathlen-le " ^ string_of_int n
+  | Bgp.Policy.Match_any -> "any"
+
+let render_action = function
+  | Bgp.Policy.Set_local_pref n -> "set-local-pref " ^ string_of_int n
+  | Bgp.Policy.Set_med n -> "set-med " ^ string_of_int n
+  | Bgp.Policy.Add_community (a, v) -> Printf.sprintf "add-community %d:%d" a v
+  | Bgp.Policy.Prepend (_, n) -> "prepend " ^ string_of_int n
+
+let render_clause (c : Bgp.Policy.clause) =
+  let cond =
+    match c.matches with
+    | [] -> ""
+    | ms -> "if " ^ String.concat " and " (List.map render_cond ms) ^ " "
+  in
+  let acts =
+    match c.actions with
+    | [] -> ""
+    | acts -> "then " ^ String.concat " " (List.map render_action acts) ^ " "
+  in
+  let verdict =
+    match c.verdict with Bgp.Policy.Accept -> "accept" | Bgp.Policy.Reject -> "reject"
+  in
+  Printf.sprintf "    %s%s%s;" cond acts verdict
+
+let render config =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "policy for %s {\n" (Bgp.Asn.to_string config.owner));
+  List.iter
+    (fun (b, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  promise to %s = %s;\n" (Bgp.Asn.to_string b)
+           (render_promise p)))
+    config.promises;
+  List.iter
+    (fun (n, policy) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  import from %s {\n" (Bgp.Asn.to_string n));
+      List.iter
+        (fun c -> Buffer.add_string buf (render_clause c ^ "\n"))
+        policy;
+      Buffer.add_string buf "  }\n")
+    config.imports;
+  List.iter
+    (fun (n, policy) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  export to %s {\n" (Bgp.Asn.to_string n));
+      List.iter
+        (fun c -> Buffer.add_string buf (render_clause c ^ "\n"))
+        policy;
+      Buffer.add_string buf "  }\n")
+    config.exports;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

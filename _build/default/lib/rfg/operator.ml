@@ -1,0 +1,228 @@
+module Bgp = Pvr_bgp
+module BU = Pvr_crypto.Bytes_util
+
+type t =
+  | Exists
+  | Min_path_length
+  | Union
+  | Best of Bgp.Decision.step list
+  | Filter of Bgp.Policy.match_cond list
+  | Not_through of Bgp.Asn.t
+  | Has_community of Bgp.Route.community
+  | Within_hops_of_min of int
+  | Shorter_of
+  | First_nonempty
+
+let arity = function Shorter_of -> Some 2 | _ -> None
+
+let min_length routes =
+  List.fold_left (fun acc r -> min acc (Bgp.Route.path_length r)) max_int routes
+
+let apply op inputs =
+  (match arity op with
+  | Some n when List.length inputs <> n ->
+      invalid_arg ("Operator.apply: " ^ "wrong arity")
+  | _ -> ());
+  let all = List.concat inputs in
+  match op with
+  | Exists -> ( match all with [] -> [] | r :: _ -> [ r ])
+  | Min_path_length ->
+      if all = [] then []
+      else begin
+        let m = min_length all in
+        List.filter (fun r -> Bgp.Route.path_length r = m) all
+      end
+  | Union -> all
+  | Best pipeline -> (
+      match Bgp.Decision.best ~pipeline all with None -> [] | Some r -> [ r ])
+  | Filter conds ->
+      List.filter (fun r -> List.for_all (fun c -> Bgp.Policy.matches c r) conds) all
+  | Not_through asn -> List.filter (fun r -> not (Bgp.Route.through asn r)) all
+  | Has_community c -> List.filter (Bgp.Route.has_community c) all
+  | Within_hops_of_min n ->
+      if all = [] then []
+      else begin
+        let m = min_length all in
+        List.filter (fun r -> Bgp.Route.path_length r <= m + n) all
+      end
+  | Shorter_of -> begin
+      let shortest routes =
+        let m = min_length routes in
+        List.find_opt (fun r -> Bgp.Route.path_length r = m) routes
+      in
+      match List.map shortest inputs with
+      | [ None; None ] -> []
+      | [ Some r; None ] | [ None; Some r ] -> [ r ]
+      | [ Some r1; Some r2 ] ->
+          if Bgp.Route.path_length r1 < Bgp.Route.path_length r2 then [ r1 ]
+          else [ r2 ]
+      | _ -> invalid_arg "Operator.apply: Shorter_of is binary"
+    end
+  | First_nonempty -> (
+      match List.find_opt (fun v -> v <> []) inputs with
+      | Some v -> v
+      | None -> [])
+
+let name = function
+  | Exists -> "exists"
+  | Min_path_length -> "min"
+  | Union -> "union"
+  | Best _ -> "best"
+  | Filter _ -> "filter"
+  | Not_through _ -> "not-through"
+  | Has_community _ -> "has-community"
+  | Within_hops_of_min _ -> "within-hops-of-min"
+  | Shorter_of -> "shorter-of"
+  | First_nonempty -> "first-nonempty"
+
+let encode_step (s : Bgp.Decision.step) =
+  match s with
+  | Bgp.Decision.Highest_local_pref -> "lp"
+  | Bgp.Decision.Shortest_as_path -> "len"
+  | Bgp.Decision.Lowest_origin -> "orig"
+  | Bgp.Decision.Lowest_med -> "med"
+  | Bgp.Decision.Lowest_neighbor -> "nbr"
+
+let encode_cond (c : Bgp.Policy.match_cond) =
+  match c with
+  | Bgp.Policy.Match_prefix_exact p -> "pfx=" ^ Bgp.Prefix.to_string p
+  | Bgp.Policy.Match_prefix_in p -> "pfx<" ^ Bgp.Prefix.to_string p
+  | Bgp.Policy.Match_community (a, v) ->
+      Printf.sprintf "comm=%d:%d" a v
+  | Bgp.Policy.Match_as_in_path a -> "inpath=" ^ Bgp.Asn.to_string a
+  | Bgp.Policy.Match_next_hop a -> "nh=" ^ Bgp.Asn.to_string a
+  | Bgp.Policy.Match_path_length_le n -> "len<=" ^ string_of_int n
+  | Bgp.Policy.Match_any -> "any"
+
+let encode op =
+  match op with
+  | Exists | Min_path_length | Union | Shorter_of | First_nonempty ->
+      BU.encode_list [ name op ]
+  | Best steps -> BU.encode_list (name op :: List.map encode_step steps)
+  | Filter conds -> BU.encode_list (name op :: List.map encode_cond conds)
+  | Not_through a -> BU.encode_list [ name op; Bgp.Asn.to_string a ]
+  | Has_community (a, v) ->
+      BU.encode_list [ name op; Printf.sprintf "%d:%d" a v ]
+  | Within_hops_of_min n -> BU.encode_list [ name op; string_of_int n ]
+
+let decode_list s =
+  let read_u32 pos =
+    if pos + 4 > String.length s then None
+    else
+      Some
+        ( (Char.code s.[pos] lsl 24)
+          lor (Char.code s.[pos + 1] lsl 16)
+          lor (Char.code s.[pos + 2] lsl 8)
+          lor Char.code s.[pos + 3],
+          pos + 4 )
+  in
+  match read_u32 0 with
+  | None -> None
+  | Some (count, pos) ->
+      let rec items n pos acc =
+        if n = 0 then
+          if pos = String.length s then Some (List.rev acc) else None
+        else
+          match read_u32 pos with
+          | None -> None
+          | Some (len, pos) ->
+              if pos + len > String.length s then None
+              else items (n - 1) (pos + len) (String.sub s pos len :: acc)
+      in
+      items count pos []
+
+let decode_step = function
+  | "lp" -> Some Bgp.Decision.Highest_local_pref
+  | "len" -> Some Bgp.Decision.Shortest_as_path
+  | "orig" -> Some Bgp.Decision.Lowest_origin
+  | "med" -> Some Bgp.Decision.Lowest_med
+  | "nbr" -> Some Bgp.Decision.Lowest_neighbor
+  | _ -> None
+
+let decode_asn s =
+  if String.length s > 2 && String.sub s 0 2 = "AS" then
+    Option.map Bgp.Asn.of_int
+      (int_of_string_opt (String.sub s 2 (String.length s - 2)))
+  else None
+
+let decode_community s =
+  match String.split_on_char ':' s with
+  | [ a; v ] -> begin
+      match (int_of_string_opt a, int_of_string_opt v) with
+      | Some a, Some v when a >= 0 && v >= 0 -> Some (a, v)
+      | _ -> None
+    end
+  | _ -> None
+
+let decode_cond s =
+  let param prefix_str =
+    let n = String.length prefix_str in
+    if String.length s > n && String.sub s 0 n = prefix_str then
+      Some (String.sub s n (String.length s - n))
+    else None
+  in
+  if s = "any" then Some Bgp.Policy.Match_any
+  else
+    match param "pfx=" with
+    | Some p -> (
+        match Bgp.Prefix.of_string p with
+        | p -> Some (Bgp.Policy.Match_prefix_exact p)
+        | exception Invalid_argument _ -> None)
+    | None -> (
+        match param "pfx<" with
+        | Some p -> (
+            match Bgp.Prefix.of_string p with
+            | p -> Some (Bgp.Policy.Match_prefix_in p)
+            | exception Invalid_argument _ -> None)
+        | None -> (
+            match param "comm=" with
+            | Some c ->
+                Option.map (fun c -> Bgp.Policy.Match_community c)
+                  (decode_community c)
+            | None -> (
+                match param "inpath=" with
+                | Some a ->
+                    Option.map (fun a -> Bgp.Policy.Match_as_in_path a)
+                      (decode_asn a)
+                | None -> (
+                    match param "nh=" with
+                    | Some a ->
+                        Option.map (fun a -> Bgp.Policy.Match_next_hop a)
+                          (decode_asn a)
+                    | None -> (
+                        match param "len<=" with
+                        | Some n ->
+                            Option.map (fun n -> Bgp.Policy.Match_path_length_le n)
+                              (int_of_string_opt n)
+                        | None -> None)))))
+
+let rec all_some = function
+  | [] -> Some []
+  | None :: _ -> None
+  | Some x :: rest -> Option.map (fun xs -> x :: xs) (all_some rest)
+
+let decode s =
+  match decode_list s with
+  | Some [ "exists" ] -> Some Exists
+  | Some [ "min" ] -> Some Min_path_length
+  | Some [ "union" ] -> Some Union
+  | Some [ "shorter-of" ] -> Some Shorter_of
+  | Some [ "first-nonempty" ] -> Some First_nonempty
+  | Some ("best" :: steps) ->
+      Option.map (fun steps -> Best steps) (all_some (List.map decode_step steps))
+  | Some ("filter" :: conds) ->
+      Option.map (fun conds -> Filter conds) (all_some (List.map decode_cond conds))
+  | Some [ "not-through"; a ] ->
+      Option.map (fun a -> Not_through a) (decode_asn a)
+  | Some [ "has-community"; c ] ->
+      Option.map (fun c -> Has_community c) (decode_community c)
+  | Some [ "within-hops-of-min"; n ] ->
+      Option.map (fun n -> Within_hops_of_min n) (int_of_string_opt n)
+  | _ -> None
+
+let pp ppf op =
+  match op with
+  | Not_through a -> Format.fprintf ppf "not-through(%a)" Bgp.Asn.pp a
+  | Has_community (a, v) -> Format.fprintf ppf "has-community(%d:%d)" a v
+  | Within_hops_of_min n -> Format.fprintf ppf "within-%d-of-min" n
+  | _ -> Format.pp_print_string ppf (name op)

@@ -1,0 +1,59 @@
+(** Route-flow-graph operators (§2.1).
+
+    "A rule is an operation that takes some set of input routes and emits a
+    set of output routes (which may be a single route, or no route at
+    all)."  Operators consume the values of their predecessor variables (in
+    edge order) and produce one value.
+
+    The two operators the paper builds protocols for are {!Exists} (§3.2)
+    and {!Min_path_length} (§3.3); the rest make the language rich enough to
+    express the §2 promise list, the Figure-2 policy, and the §4 "more
+    operators" challenge items (communities, AS-presence tests). *)
+
+type t =
+  | Exists
+      (** Emit one input route (the first available) iff any input variable
+          holds a route — §3.2. *)
+  | Min_path_length
+      (** Emit the input routes of minimal AS-path length — §3.3. *)
+  | Union  (** All routes from all inputs. *)
+  | Best of Pvr_bgp.Decision.step list
+      (** The BGP decision pipeline as one (composite) operator. *)
+  | Filter of Pvr_bgp.Policy.match_cond list
+      (** Keep routes satisfying the conjunction. *)
+  | Not_through of Pvr_bgp.Asn.t
+      (** Drop routes whose path contains the AS — §4 "check for the
+          presence of particular ASes on the path". *)
+  | Has_community of Pvr_bgp.Route.community
+      (** Keep routes carrying the community — §4 "operators that evaluate
+          communities". *)
+  | Within_hops_of_min of int
+      (** Keep routes at most n hops longer than the shortest input —
+          promise 3 of §2. *)
+  | Shorter_of
+      (** Binary: emit the first input if it beats the second on path
+          length, else the second — the Figure-2 combiner ("unless N1
+          provides a shorter route"). *)
+  | First_nonempty
+      (** Emit the first input variable that holds any route (ordered
+          fallback/preference). *)
+
+val arity : t -> int option
+(** Fixed arity if the operator requires one ([Shorter_of] is binary);
+    [None] when variadic. *)
+
+val apply : t -> Pvr_bgp.Route.t list list -> Pvr_bgp.Route.t list
+(** Evaluate on the ordered list of input-variable values.
+    @raise Invalid_argument if a fixed arity is violated. *)
+
+val name : t -> string
+(** Stable identifier used in commitments and disclosures. *)
+
+val encode : t -> string
+(** Injective byte encoding (committed to in the vertex MHT). *)
+
+val decode : string -> t option
+(** Inverse of {!encode}; [None] on malformed input.  Verifiers use it to
+    interpret a disclosed operator payload. *)
+
+val pp : Format.formatter -> t -> unit

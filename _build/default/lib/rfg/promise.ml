@@ -1,0 +1,167 @@
+module Bgp = Pvr_bgp
+
+type t =
+  | Shortest_route
+  | Shortest_from of Bgp.Asn.t list
+  | Within_hops of int
+  | No_longer_than_others
+  | Export_if_any of Bgp.Asn.t list
+  | Prefer_unless_shorter of { fallback : Bgp.Asn.t list; override : Bgp.Asn.t }
+
+let describe = function
+  | Shortest_route -> "export the shortest route received"
+  | Shortest_from subset ->
+      "export the shortest route received from {"
+      ^ String.concat ", " (List.map Bgp.Asn.to_string subset)
+      ^ "}"
+  | Within_hops n ->
+      Printf.sprintf "export a route at most %d hops longer than the best" n
+  | No_longer_than_others ->
+      "the exported route is no longer than any other export"
+  | Export_if_any subset ->
+      "export some route whenever {"
+      ^ String.concat ", " (List.map Bgp.Asn.to_string subset)
+      ^ "} provides one"
+  | Prefer_unless_shorter { fallback; override } ->
+      Printf.sprintf "export a route via {%s} unless %s provides a shorter one"
+        (String.concat ", " (List.map Bgp.Asn.to_string fallback))
+        (Bgp.Asn.to_string override)
+
+let routes_from subset inputs =
+  List.filter_map
+    (fun (n, r) -> if List.exists (Bgp.Asn.equal n) subset then Some r else None)
+    inputs
+
+let min_length routes =
+  List.fold_left (fun acc r -> min acc (Bgp.Route.path_length r)) max_int routes
+
+(* The exported route is judged *before* the AS prepends itself: PVR
+   compares it against the input routes as stored in the Adj-RIB-In. *)
+let permitted promise ~inputs ?(other_exports = []) ~exported () =
+  let all = List.map snd inputs in
+  match promise with
+  | Shortest_route -> begin
+      match (exported, all) with
+      | None, [] -> true
+      | None, _ -> false
+      | Some _, [] -> false
+      | Some r, _ -> Bgp.Route.path_length r = min_length all
+    end
+  | Shortest_from subset -> begin
+      let candidates = routes_from subset inputs in
+      match (exported, candidates) with
+      | None, [] -> true
+      | None, _ -> false
+      | Some _, [] -> false
+      | Some r, _ -> Bgp.Route.path_length r = min_length candidates
+    end
+  | Within_hops n -> begin
+      match (exported, all) with
+      | None, [] -> true
+      | None, _ -> false
+      | Some _, [] -> false
+      | Some r, _ -> Bgp.Route.path_length r <= min_length all + n
+    end
+  | No_longer_than_others -> begin
+      match exported with
+      | None -> other_exports = []
+      | Some r ->
+          List.for_all
+            (fun other ->
+              Bgp.Route.path_length r <= Bgp.Route.path_length other)
+            other_exports
+    end
+  | Export_if_any subset -> begin
+      let candidates = routes_from subset inputs in
+      match (exported, candidates) with
+      | None, [] -> true
+      | None, _ -> false
+      | Some _, [] -> false
+      | Some _, _ -> true
+    end
+  | Prefer_unless_shorter { fallback; override } -> begin
+      let fallback_routes = routes_from fallback inputs in
+      let override_routes = routes_from [ override ] inputs in
+      match (exported, fallback_routes, override_routes) with
+      | None, [], [] -> true
+      | None, _, _ -> false
+      | Some _, [], [] -> false
+      | Some r, [], _ -> Bgp.Route.path_length r = min_length override_routes
+      | Some r, _, [] ->
+          (* No override available: any fallback route is permitted. *)
+          List.exists (Bgp.Route.equal r) fallback_routes
+      | Some r, _, _ ->
+          let fm = min_length fallback_routes in
+          let om = min_length override_routes in
+          if om < fm then Bgp.Route.path_length r = om
+          else List.exists (Bgp.Route.equal r) fallback_routes
+    end
+
+let input_var asn = "r:" ^ Bgp.Asn.to_string asn
+let output_var asn = "out:" ^ Bgp.Asn.to_string asn
+
+let with_inputs neighbors g =
+  List.fold_left (fun g n -> Rfg.add_var g (input_var n) (Rfg.Input n)) g neighbors
+
+let reference_rfg promise ~beneficiary ~neighbors =
+  (* Input variables must exist for every neighbor the promise names, even
+     if that neighbor happens not to be announcing anything right now. *)
+  let involved =
+    match promise with
+    | Shortest_from subset | Export_if_any subset -> subset
+    | Prefer_unless_shorter { fallback; override } -> override :: fallback
+    | Shortest_route | Within_hops _ | No_longer_than_others -> []
+  in
+  let neighbors =
+    List.fold_left
+      (fun acc n -> if List.exists (Bgp.Asn.equal n) acc then acc else acc @ [ n ])
+      neighbors involved
+  in
+  let out = output_var beneficiary in
+  let base =
+    Rfg.empty |> with_inputs neighbors |> fun g ->
+    Rfg.add_var g out (Rfg.Output beneficiary)
+  in
+  let all_inputs = List.map input_var neighbors in
+  match promise with
+  | Shortest_route ->
+      Rfg.add_op base "op:min" Operator.Min_path_length ~inputs:all_inputs
+        ~output:out
+  | Shortest_from subset ->
+      Rfg.add_op base "op:min" Operator.Min_path_length
+        ~inputs:(List.map input_var subset)
+        ~output:out
+  | Within_hops n ->
+      Rfg.add_op base "op:within" (Operator.Within_hops_of_min n)
+        ~inputs:all_inputs ~output:out
+  | No_longer_than_others ->
+      (* Expressed as: export the shortest route (which trivially satisfies
+         "no longer than what anyone else gets"). *)
+      Rfg.add_op base "op:min" Operator.Min_path_length ~inputs:all_inputs
+        ~output:out
+  | Export_if_any subset ->
+      Rfg.add_op base "op:exists" Operator.Exists
+        ~inputs:(List.map input_var subset)
+        ~output:out
+  | Prefer_unless_shorter { fallback; override } ->
+      let g = Rfg.add_var base "v:fallback-min" Rfg.Internal in
+      let g =
+        Rfg.add_op g "op:min" Operator.Min_path_length
+          ~inputs:(List.map input_var fallback)
+          ~output:"v:fallback-min"
+      in
+      Rfg.add_op g "op:choose" Operator.Shorter_of
+        ~inputs:[ input_var override; "v:fallback-min" ]
+        ~output:out
+
+let holds_on_rfg promise ~rfg ~beneficiary ~inputs =
+  let seeded =
+    List.map (fun (n, r) -> (input_var n, [ r ])) inputs
+  in
+  let valuation = Rfg.eval rfg ~inputs:seeded in
+  let exported =
+    match Rfg.value valuation (output_var beneficiary) with
+    | [] -> None
+    | r :: _ -> Some r
+  in
+  permitted promise ~inputs ~exported ()

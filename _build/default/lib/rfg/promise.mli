@@ -1,0 +1,61 @@
+(** The promises of §2.
+
+    "These promises can be understood as specifying, for each set of input
+    routes the AS might receive, some set of permissible routes that its
+    output must be drawn from.  A violation occurs whenever an AS emits a
+    route that was not in its permitted set, given the inputs it had
+    received."
+
+    {!permitted} is that ground-truth predicate (the oracle the experiments
+    compare PVR verdicts against); {!reference_rfg} builds a route-flow
+    graph that implements each promise. *)
+
+type t =
+  | Shortest_route
+      (** §2 promise 1: "I will give you the shortest route I receive." *)
+  | Shortest_from of Pvr_bgp.Asn.t list
+      (** §2 promise 2 (and Fig. 1): shortest among a known neighbor
+          subset. *)
+  | Within_hops of int
+      (** §2 promise 3: "a route no more than n hops longer than my best
+          route." *)
+  | No_longer_than_others
+      (** §2 promise 4: "the route you get is no longer than what I tell
+          anybody else" — judged against the other exported routes. *)
+  | Export_if_any of Pvr_bgp.Asn.t list
+      (** §3.2: export something whenever at least one of the subset
+          provides a route (the existential promise). *)
+  | Prefer_unless_shorter of { fallback : Pvr_bgp.Asn.t list; override : Pvr_bgp.Asn.t }
+      (** Fig. 2: "I will export some route via N2..Nk unless N1 provides a
+          shorter route" ([override] = N1). *)
+
+val describe : t -> string
+
+(** Ground truth.  [inputs] are the routes the AS received, tagged by
+    neighbor; [exported] is what it sent the beneficiary; [other_exports]
+    are the routes it sent everyone else (only promise 4 looks at them). *)
+val permitted :
+  t ->
+  inputs:(Pvr_bgp.Asn.t * Pvr_bgp.Route.t) list ->
+  ?other_exports:Pvr_bgp.Route.t list ->
+  exported:Pvr_bgp.Route.t option ->
+  unit ->
+  bool
+
+val reference_rfg :
+  t -> beneficiary:Pvr_bgp.Asn.t -> neighbors:Pvr_bgp.Asn.t list -> Rfg.t
+(** A route-flow graph implementing the promise for an AS whose input
+    neighbors are [neighbors] and whose output goes to [beneficiary].
+    Input variables are named ["r:ASn"], the output ["out:ASb"]. *)
+
+val input_var : Pvr_bgp.Asn.t -> Rfg.vertex_id
+val output_var : Pvr_bgp.Asn.t -> Rfg.vertex_id
+
+val holds_on_rfg :
+  t ->
+  rfg:Rfg.t ->
+  beneficiary:Pvr_bgp.Asn.t ->
+  inputs:(Pvr_bgp.Asn.t * Pvr_bgp.Route.t) list ->
+  bool
+(** Evaluate the graph on the inputs and check the produced export against
+    {!permitted} — used by tests to validate reference graphs. *)

@@ -1,0 +1,46 @@
+(** Static verification of route-flow graphs against promises (§2.2, §4).
+
+    "A network may be able to tell, given the rules to which it has access,
+    whether particular promises made to it will be kept.  This is based
+    purely on static inspection of the route-flow graph, tracing connections
+    from input variables ... to output variables" (§2.2).
+
+    §4 ("Minimum access") additionally asks whether "a) the visible
+    route-flow graph implements a given promise and b) the access privileges
+    granted by the network are sufficient to verify that promise".  Both
+    checks are below; visibility is a plain predicate so callers can plug in
+    the α of {!Pvr.Access_control}. *)
+
+type issue =
+  | Missing_vertex of Rfg.vertex_id
+      (** The expected structure needs a vertex the graph does not have. *)
+  | Invisible_vertex of Rfg.vertex_id
+      (** The vertex exists but the verifier may not see it. *)
+  | Wrong_operator of { vertex : Rfg.vertex_id; expected : string; found : string }
+  | Wrong_wiring of { vertex : Rfg.vertex_id; detail : string }
+  | No_output of Pvr_bgp.Asn.t
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val implements :
+  Rfg.t ->
+  promise:Promise.t ->
+  beneficiary:Pvr_bgp.Asn.t ->
+  neighbors:Pvr_bgp.Asn.t list ->
+  issue list
+(** Structural check that the graph computes the promise for the
+    beneficiary: empty list = the graph implements the promise.  The check
+    is sound for the promise shapes of §2 (it compares against
+    {!Promise.reference_rfg} structure), not a general program analysis. *)
+
+val verifiable_under :
+  Rfg.t ->
+  promise:Promise.t ->
+  beneficiary:Pvr_bgp.Asn.t ->
+  neighbors:Pvr_bgp.Asn.t list ->
+  visible:(viewer:Pvr_bgp.Asn.t -> Rfg.vertex_id -> bool) ->
+  issue list
+(** The §4 "minimum access" check: on top of {!implements}, every vertex
+    that some participant must inspect at runtime has to be visible to that
+    participant — the operator vertex to everyone involved, each input
+    variable to its own neighbor, and the output to the beneficiary. *)

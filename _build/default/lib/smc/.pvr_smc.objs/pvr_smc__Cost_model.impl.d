@@ -1,0 +1,1 @@
+lib/smc/cost_model.ml: Circuit

@@ -1,0 +1,1 @@
+lib/smc/gmw.ml: Array Circuit Int64 List Pvr_crypto Secret_share Unix

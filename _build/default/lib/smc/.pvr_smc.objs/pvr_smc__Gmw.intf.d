@@ -1,0 +1,1 @@
+lib/smc/gmw.mli: Circuit Pvr_crypto

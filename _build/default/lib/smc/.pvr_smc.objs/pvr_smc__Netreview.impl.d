@@ -1,0 +1,1 @@
+lib/smc/netreview.ml: List Pvr_bgp String

@@ -1,0 +1,1 @@
+lib/smc/netreview.mli: Pvr_bgp

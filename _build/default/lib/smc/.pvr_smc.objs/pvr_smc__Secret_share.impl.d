@@ -1,0 +1,1 @@
+lib/smc/secret_share.ml: Array Pvr_crypto

@@ -1,0 +1,1 @@
+lib/smc/secret_share.mli: Pvr_crypto

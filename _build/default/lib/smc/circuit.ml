@@ -1,0 +1,159 @@
+type wire = int
+
+type gate = And of wire * wire | Xor of wire * wire | Not of wire
+
+type t = { n_inputs : int; gates : gate array; outputs : wire list }
+
+let eval t inputs =
+  if Array.length inputs <> t.n_inputs then
+    invalid_arg "Circuit.eval: wrong input count";
+  let values = Array.make (t.n_inputs + Array.length t.gates) false in
+  Array.blit inputs 0 values 0 t.n_inputs;
+  Array.iteri
+    (fun i g ->
+      values.(t.n_inputs + i) <-
+        (match g with
+        | And (a, b) -> values.(a) && values.(b)
+        | Xor (a, b) -> values.(a) <> values.(b)
+        | Not a -> not values.(a)))
+    t.gates;
+  List.map (fun w -> values.(w)) t.outputs
+
+let and_count t =
+  Array.fold_left
+    (fun acc g -> match g with And _ -> acc + 1 | _ -> acc)
+    0 t.gates
+
+let and_depth t =
+  (* Depth counting only AND gates (XOR/NOT are local in GMW). *)
+  let depth = Array.make (t.n_inputs + Array.length t.gates) 0 in
+  Array.iteri
+    (fun i g ->
+      let d =
+        match g with
+        | And (a, b) -> 1 + max depth.(a) depth.(b)
+        | Xor (a, b) -> max depth.(a) depth.(b)
+        | Not a -> depth.(a)
+      in
+      depth.(t.n_inputs + i) <- d)
+    t.gates;
+  List.fold_left (fun acc w -> max acc depth.(w)) 0 t.outputs
+
+let size t = Array.length t.gates
+
+module Builder = struct
+  type b = { n_inputs : int; mutable gates : gate list; mutable next : int }
+
+  let create ~n_inputs = { n_inputs; gates = []; next = n_inputs }
+
+  let input b i =
+    if i < 0 || i >= b.n_inputs then invalid_arg "Builder.input: out of range";
+    i
+
+  let emit b g =
+    b.gates <- g :: b.gates;
+    let w = b.next in
+    b.next <- b.next + 1;
+    w
+
+  let band b x y = emit b (And (x, y))
+  let bxor b x y = emit b (Xor (x, y))
+  let bnot b x = emit b (Not x)
+
+  (* x OR y = NOT (NOT x AND NOT y) *)
+  let bor b x y = bnot b (band b (bnot b x) (bnot b y))
+
+  let constant b v =
+    let zero = bxor b 0 0 in
+    if v then bnot b zero else zero
+
+  let finish b ~outputs =
+    {
+      n_inputs = b.n_inputs;
+      gates = Array.of_list (List.rev b.gates);
+      outputs;
+    }
+end
+
+open Builder
+
+(* lt recurrence LSB -> MSB: lt' = (~a & b) XOR (~(a XOR b) & lt). *)
+let less_than_wires b a_bits b_bits =
+  List.fold_left2
+    (fun lt ai bi ->
+      let na = bnot b ai in
+      let na_and_b = band b na bi in
+      let eq = bnot b (bxor b ai bi) in
+      let keep = band b eq lt in
+      (* na_and_b and keep are mutually exclusive, so XOR = OR. *)
+      bxor b na_and_b keep)
+    (constant b false) a_bits b_bits
+
+let less_than ~bits =
+  let b = create ~n_inputs:(2 * bits) in
+  let a_bits = List.init bits (input b) in
+  let b_bits = List.init bits (fun i -> input b (bits + i)) in
+  let lt = less_than_wires b a_bits b_bits in
+  finish b ~outputs:[ lt ]
+
+let mux b s x y =
+  (* s = 1 -> x, else y. *)
+  let d = bxor b x y in
+  bxor b y (band b s d)
+
+let minimum ~bits ~k =
+  if k < 1 then invalid_arg "Circuit.minimum: k must be positive";
+  let b = create ~n_inputs:(bits * k) in
+  let value i = List.init bits (fun j -> input b ((i * bits) + j)) in
+  let min2 x y =
+    let lt = less_than_wires b x y in
+    List.map2 (fun xi yi -> mux b lt xi yi) x y
+  in
+  (* Balanced tournament tree. *)
+  let rec tournament = function
+    | [] -> assert false
+    | [ v ] -> v
+    | vs ->
+        let rec pair = function
+          | x :: y :: rest -> min2 x y :: pair rest
+          | [ x ] -> [ x ]
+          | [] -> []
+        in
+        tournament (pair vs)
+  in
+  let result = tournament (List.init k value) in
+  finish b ~outputs:result
+
+let majority_vote ~voters =
+  if voters < 1 then invalid_arg "Circuit.majority_vote: need voters";
+  let b = create ~n_inputs:voters in
+  let width =
+    let rec go w = if 1 lsl w > voters then w else go (w + 1) in
+    go 1
+  in
+  let zero = constant b false in
+  (* Ripple-add each ballot into an accumulator. *)
+  let add_bit acc bit =
+    let rec go acc carry =
+      match acc with
+      | [] -> []
+      | a :: rest ->
+          let sum = bxor b a carry in
+          let carry' = band b a carry in
+          sum :: go rest carry'
+    in
+    go acc bit
+  in
+  let sum =
+    List.fold_left
+      (fun acc i -> add_bit acc (input b i))
+      (List.init width (fun _ -> zero))
+      (List.init voters Fun.id)
+  in
+  (* majority: sum > voters/2  <=>  voters/2 < sum *)
+  let threshold = voters / 2 in
+  let t_bits =
+    List.init width (fun i -> constant b ((threshold lsr i) land 1 = 1))
+  in
+  let gt = less_than_wires b t_bits sum in
+  finish b ~outputs:[ gt ]

@@ -1,0 +1,62 @@
+(** Boolean circuits — the computation model of the §3.1 SMC/ZKP strawmen.
+
+    The paper rejects generic secure multiparty computation because
+    "state-of-the-art SMC systems take about 15 seconds of computation time
+    for a simple task like voting" and every BGP update would need one
+    evaluation.  To reproduce that comparison (experiment E6) we need the
+    circuits those systems would evaluate: comparators, minimum-selection
+    trees, and the voting benchmark used for calibration. *)
+
+type wire = int
+
+type gate =
+  | And of wire * wire
+  | Xor of wire * wire
+  | Not of wire
+  (* Or / Eq are lowered onto these three. *)
+
+type t = {
+  n_inputs : int;
+  gates : gate array;       (** wire i = n_inputs + index in this array *)
+  outputs : wire list;
+}
+
+val eval : t -> bool array -> bool list
+(** Plain (insecure) evaluation; the SMC result must match it. *)
+
+val and_count : t -> int
+(** Number of AND gates — the cost driver in GMW (XOR is free). *)
+
+val and_depth : t -> int
+(** AND-depth = number of communication rounds in GMW. *)
+
+val size : t -> int
+
+(** {2 Builders} *)
+
+module Builder : sig
+  type b
+
+  val create : n_inputs:int -> b
+  val input : b -> int -> wire
+  val band : b -> wire -> wire -> wire
+  val bxor : b -> wire -> wire -> wire
+  val bnot : b -> wire -> wire
+  val bor : b -> wire -> wire -> wire
+  val constant : b -> bool -> wire
+  (** Encoded as [x XOR x] (false) / its negation (true). *)
+
+  val finish : b -> outputs:wire list -> t
+end
+
+val less_than : bits:int -> t
+(** 2n inputs (a then b, LSB first); one output: a < b (unsigned). *)
+
+val minimum : bits:int -> k:int -> t
+(** k·n inputs (k unsigned values); n outputs: the minimum value.  A
+    tournament of comparator+mux stages — the circuit A's neighbors would
+    jointly evaluate to verify the §3.3 promise with SMC. *)
+
+val majority_vote : voters:int -> t
+(** [voters] one-bit ballots; one output: majority (the FairplayMP-style
+    calibration task of §3.1). *)

@@ -1,0 +1,32 @@
+type t = { c_gate_s : float; c_latency_s : float; c_zkp_gate_s : float }
+
+let smc_seconds m ~and_gates ~rounds ~parties =
+  (float_of_int and_gates *. float_of_int (parties * parties) *. m.c_gate_s)
+  +. (float_of_int rounds *. m.c_latency_s)
+
+let zkp_seconds m ~gates = float_of_int gates *. m.c_zkp_gate_s
+
+let smc_seconds_for m circuit ~parties =
+  smc_seconds m
+    ~and_gates:(Circuit.and_count circuit)
+    ~rounds:(Circuit.and_depth circuit + 1)
+    ~parties
+
+let calibrate ~anchor_seconds ~voters =
+  let c = Circuit.majority_vote ~voters in
+  let and_gates = Circuit.and_count c in
+  let rounds = Circuit.and_depth c + 1 in
+  let c_latency_s = 0.002 in
+  let residual = anchor_seconds -. (float_of_int rounds *. c_latency_s) in
+  let c_gate_s =
+    residual /. (float_of_int and_gates *. float_of_int (voters * voters))
+  in
+  (* Generic ZKP (2011-era, pre-SNARK): on the order of a millisecond of
+     prover work per gate. *)
+  { c_gate_s; c_latency_s; c_zkp_gate_s = 0.001 }
+
+let default = calibrate ~anchor_seconds:15.0 ~voters:5
+
+let anchor_check m =
+  let c = Circuit.majority_vote ~voters:5 in
+  smc_seconds_for m c ~parties:5

@@ -1,0 +1,39 @@
+(** Wall-clock cost models for the §3.1 strawmen.
+
+    The paper's data point: "even with only five players, state-of-the-art
+    SMC systems take about 15 seconds of computation time for a simple task
+    like voting [FairplayMP, CCS 2008]".  We anchor a per-AND-gate,
+    per-party-pair cost to that observation and extrapolate to the circuits
+    PVR would otherwise have to evaluate per BGP update (experiment E6).
+    The model is deliberately simple — the comparison the paper makes is
+    about orders of magnitude and scaling shape, not precise timings.
+
+    Cost(SMC)  = and_gates · parties² · c_gate  +  rounds · c_latency
+    Cost(ZKP)  = gates · c_prove  (prover) — generic ZKP compiles the same
+    circuit and pays per gate; verification is cheaper but the prover runs
+    per update.
+
+    The constants are derived in [calibrate]: with the 5-voter majority
+    circuit (A AND gates, R rounds), c_gate solves
+    A · 25 · c_gate + R · c_latency = 15 s, with c_latency fixed at 2 ms
+    (2011 LAN round-trip, conservative). *)
+
+type t = {
+  c_gate_s : float;     (** seconds per AND gate per party-pair *)
+  c_latency_s : float;  (** seconds per communication round *)
+  c_zkp_gate_s : float; (** prover seconds per gate *)
+}
+
+val default : t
+(** Calibrated against the FairplayMP anchor at module load. *)
+
+val calibrate : anchor_seconds:float -> voters:int -> t
+
+val smc_seconds : t -> and_gates:int -> rounds:int -> parties:int -> float
+
+val zkp_seconds : t -> gates:int -> float
+
+val smc_seconds_for : t -> Circuit.t -> parties:int -> float
+
+val anchor_check : t -> float
+(** The model's prediction for the 5-voter anchor task (≈ 15 s). *)

@@ -1,0 +1,90 @@
+type stats = {
+  parties : int;
+  and_gates : int;
+  rounds : int;
+  bits_sent : int;
+  wall_ns : int64;
+}
+
+(* Beaver: to compute z = x AND y on shares, take a preprocessed triple
+   (a, b, c) with c = a AND b, open d = x^a and e = y^b, then
+   z = c ^ (d AND b) ^ (e AND a) ^ (d AND e)   [the d AND e term is added
+   by one designated party].  All operations are per-party on shares. *)
+let run rng ~parties circuit ~inputs =
+  if parties < 2 then invalid_arg "Gmw.run: need at least 2 parties";
+  let t0 = Pvr_crypto.Drbg.generate rng 0 in
+  ignore t0;
+  let start = Unix.gettimeofday () in
+  let n_wires = circuit.Circuit.n_inputs + Array.length circuit.Circuit.gates in
+  (* shares.(p).(w) = party p's share of wire w *)
+  let shares = Array.make_matrix parties n_wires false in
+  let input_shares = Secret_share.share_bits rng ~parties inputs in
+  for p = 0 to parties - 1 do
+    Array.blit input_shares.(p) 0 shares.(p) 0 circuit.Circuit.n_inputs
+  done;
+  let and_gates = ref 0 in
+  let bits_sent = ref 0 in
+  Array.iteri
+    (fun i gate ->
+      let w = circuit.Circuit.n_inputs + i in
+      match gate with
+      | Circuit.Xor (x, y) ->
+          for p = 0 to parties - 1 do
+            shares.(p).(w) <- shares.(p).(x) <> shares.(p).(y)
+          done
+      | Circuit.Not x ->
+          (* Party 0 flips; everyone else copies. *)
+          shares.(0).(w) <- not shares.(0).(x);
+          for p = 1 to parties - 1 do
+            shares.(p).(w) <- shares.(p).(x)
+          done
+      | Circuit.And (x, y) ->
+          incr and_gates;
+          (* Dealer triple, shared among the parties. *)
+          let a = Pvr_crypto.Drbg.bool rng in
+          let b = Pvr_crypto.Drbg.bool rng in
+          let c = a && b in
+          let a_sh = Secret_share.share rng ~parties a in
+          let b_sh = Secret_share.share rng ~parties b in
+          let c_sh = Secret_share.share rng ~parties c in
+          (* Open d = x ^ a and e = y ^ b: every party broadcasts its two
+             share bits. *)
+          let d = ref false and e = ref false in
+          for p = 0 to parties - 1 do
+            d := !d <> (shares.(p).(x) <> a_sh.(p));
+            e := !e <> (shares.(p).(y) <> b_sh.(p));
+            bits_sent := !bits_sent + (2 * (parties - 1))
+          done;
+          for p = 0 to parties - 1 do
+            let z =
+              c_sh.(p)
+              <> (!d && b_sh.(p))
+              <> (!e && a_sh.(p))
+              <> (p = 0 && !d && !e)
+            in
+            shares.(p).(w) <- z
+          done)
+    circuit.Circuit.gates;
+  (* Reconstruct the outputs: one final broadcast round. *)
+  let outputs =
+    List.map
+      (fun w ->
+        bits_sent := !bits_sent + (parties * (parties - 1));
+        let acc = ref false in
+        for p = 0 to parties - 1 do
+          acc := !acc <> shares.(p).(w)
+        done;
+        !acc)
+      circuit.Circuit.outputs
+  in
+  let wall_ns =
+    Int64.of_float ((Unix.gettimeofday () -. start) *. 1e9)
+  in
+  ( outputs,
+    {
+      parties;
+      and_gates = !and_gates;
+      rounds = Circuit.and_depth circuit + 1;
+      bits_sent = !bits_sent;
+      wall_ns;
+    } )

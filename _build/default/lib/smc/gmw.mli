@@ -1,0 +1,29 @@
+(** A GMW-style semi-honest multiparty evaluation of boolean circuits,
+    with Beaver multiplication triples from a simulated trusted dealer.
+
+    This is the §3.1 strawman made runnable: the parties really do evaluate
+    the circuit on XOR shares — XOR gates locally, each AND gate consuming
+    one preprocessed triple and one round of openings — and the statistics
+    (AND gates, rounds, bytes moved) feed {!Cost_model}, which converts them
+    into wall-clock estimates anchored to the published FairplayMP number.
+
+    A real deployment would generate triples with oblivious transfer; the
+    dealer substitution preserves the online communication pattern, which is
+    what the cost comparison needs (DESIGN.md, substitution table). *)
+
+type stats = {
+  parties : int;
+  and_gates : int;     (** triples consumed *)
+  rounds : int;        (** communication rounds (AND depth + reconstruction) *)
+  bits_sent : int;     (** total bits broadcast during openings *)
+  wall_ns : int64;     (** measured local simulation time *)
+}
+
+val run :
+  Pvr_crypto.Drbg.t ->
+  parties:int ->
+  Circuit.t ->
+  inputs:bool array ->
+  bool list * stats
+(** Share the inputs among [parties], evaluate, reconstruct the outputs.
+    The functional result always equals {!Circuit.eval}. *)

@@ -1,0 +1,30 @@
+(** The full-disclosure baseline (§1: "We could enable complete verification
+    by revealing all routing tables, similar to [NetReview, NSDI 2009], but
+    then everything is revealed").
+
+    A hands each neighbor its entire Adj-RIB-In for the prefix plus the
+    chosen route; the neighbor recomputes the decision and compares.
+    Verification is trivial and complete — the cost is total loss of input
+    privacy, which experiment E7 quantifies with {!Pvr.Leakage} and a
+    Gao-inference attack on the revealed paths. *)
+
+type disclosure = {
+  inputs : (Pvr_bgp.Asn.t * Pvr_bgp.Route.t) list;  (** the full Adj-RIB-In *)
+  chosen : Pvr_bgp.Route.t option;
+}
+
+val disclose :
+  inputs:(Pvr_bgp.Asn.t * Pvr_bgp.Route.t) list ->
+  chosen:Pvr_bgp.Route.t option ->
+  disclosure
+
+val verify_shortest : disclosure -> bool
+(** Recompute: is the chosen route one of the shortest inputs (or absent
+    exactly when there are no inputs)? *)
+
+val revealed_paths : disclosure -> Pvr_bgp.Asn.t list list
+(** The AS paths a neighbor learns — feed for
+    {!Pvr_bgp.Gao_inference.infer}. *)
+
+val disclosure_bytes : disclosure -> int
+(** Wire size of the disclosure (for the E6/E7 cost columns). *)

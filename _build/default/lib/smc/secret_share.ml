@@ -1,0 +1,29 @@
+let share rng ~parties secret =
+  if parties < 1 then invalid_arg "Secret_share.share: need parties";
+  let shares = Array.init parties (fun _ -> Pvr_crypto.Drbg.bool rng) in
+  let xor_rest =
+    Array.fold_left (fun acc s -> acc <> s) false
+      (Array.sub shares 1 (parties - 1))
+  in
+  shares.(0) <- secret <> xor_rest;
+  shares
+
+let reconstruct shares = Array.fold_left (fun acc s -> acc <> s) false shares
+
+let share_bits rng ~parties secrets =
+  let per_secret = Array.map (share rng ~parties) secrets in
+  Array.init parties (fun p ->
+      Array.map (fun shares -> shares.(p)) per_secret)
+
+let reconstruct_bits shares_by_party =
+  let parties = Array.length shares_by_party in
+  if parties = 0 then [||]
+  else
+    Array.init
+      (Array.length shares_by_party.(0))
+      (fun i ->
+        let acc = ref false in
+        for p = 0 to parties - 1 do
+          acc := !acc <> shares_by_party.(p).(i)
+        done;
+        !acc)

@@ -1,0 +1,11 @@
+(** n-party XOR secret sharing of bits (the GMW substrate). *)
+
+val share : Pvr_crypto.Drbg.t -> parties:int -> bool -> bool array
+(** Random shares XOR-ing to the secret. *)
+
+val reconstruct : bool array -> bool
+
+val share_bits : Pvr_crypto.Drbg.t -> parties:int -> bool array -> bool array array
+(** [share_bits rng ~parties secrets].(p).(i) is party p's share of bit i. *)
+
+val reconstruct_bits : bool array array -> bool array

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Int List Printf Pvr_bgp Pvr_crypto QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Fun Int Lazy List Pvr_crypto QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bgp Test_crypto Test_merkle Test_pvr Test_rfg Test_smc

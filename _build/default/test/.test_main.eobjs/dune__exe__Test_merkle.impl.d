@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest List Printf Pvr_crypto Pvr_merkle QCheck2 QCheck_alcotest String

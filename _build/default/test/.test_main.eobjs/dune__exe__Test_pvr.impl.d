@@ -1,0 +1,1 @@
+test/test_pvr.ml: Alcotest Lazy List Option Printf Pvr Pvr_bgp Pvr_crypto Pvr_rfg QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rfg.ml: Alcotest Format List Pvr_bgp Pvr_rfg QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_smc.ml: Alcotest Array Float Fun List Printf Pvr_bgp Pvr_crypto Pvr_smc QCheck2 QCheck_alcotest

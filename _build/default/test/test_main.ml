@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "pvr"
+    [
+      ("crypto", Test_crypto.suite);
+      ("merkle", Test_merkle.suite);
+      ("bgp", Test_bgp.suite);
+      ("rfg", Test_rfg.suite);
+      ("pvr", Test_pvr.suite);
+      ("smc", Test_smc.suite);
+    ]
