@@ -20,6 +20,28 @@ module G = Pvr_bgp
 module R = Pvr_rfg
 module C = Pvr_crypto
 module Smc = Pvr_smc
+module Obs = Pvr_obs
+module J = Pvr_obs.Json
+
+(* Counter deltas attributable to one operation, as a JSON object. *)
+let counted f =
+  let before = Obs.Snapshot.capture () in
+  let result = f () in
+  let d = Obs.Snapshot.diff ~before ~after:(Obs.Snapshot.capture ()) in
+  (result, d)
+
+let delta d name = Obs.Snapshot.counter_value d name
+
+let crypto_ops d =
+  J.Obj
+    [
+      ("rsa_sign_ops", J.Int (delta d "crypto.rsa.sign.ops"));
+      ("rsa_verify_ops", J.Int (delta d "crypto.rsa.verify.ops"));
+      ("sha256_ops", J.Int (delta d "crypto.sha256.ops"));
+      ("sha256_bytes", J.Int (delta d "crypto.sha256.bytes"));
+      ("gossip_exchanges", J.Int (delta d "gossip.exchanges"));
+      ("wire_commit_bytes", J.Int (delta d "wire.commit.bytes"));
+    ]
 
 let asn = G.Asn.of_int
 let prefix0 = G.Prefix.of_string "10.0.0.0/8"
@@ -73,17 +95,39 @@ let min_round_once k =
 
 let e1 () =
   header "E1  minimum-operator verification (Figure 1, §3.3)";
-  Printf.printf "%4s  %12s  %12s  %10s  %8s\n" "k" "round ms" "ms/provider"
-    "commit B" "msgs";
-  List.iter
-    (fun k ->
-      let ms = time_ms (fun () -> min_round_once k) in
-      let r = min_round_once k in
-      assert (not r.P.Runner.detected);
-      Printf.printf "%4d  %12.2f  %12.2f  %10d  %8d\n%!" k ms
-        (ms /. float_of_int k)
-        r.P.Runner.commit_bytes r.P.Runner.messages)
-    [ 2; 4; 8; 16; 32; 64 ]
+  Printf.printf "%4s  %12s  %12s  %12s  %10s  %8s\n" "k" "round ms"
+    "ms (no obs)" "ms/provider" "commit B" "msgs";
+  let rows =
+    List.map
+      (fun k ->
+        let ms = time_ms (fun () -> min_round_once k) in
+        (* Same round with instrumentation off: the acceptance bar is that
+           the difference stays within noise. *)
+        Obs.set_enabled false;
+        let ms_disabled = time_ms (fun () -> min_round_once k) in
+        Obs.set_enabled true;
+        let r, d = counted (fun () -> min_round_once k) in
+        assert (not r.P.Runner.detected);
+        (* The published runner counters and the report are two views of the
+           same tally — they must agree for a single round. *)
+        assert (delta d "runner.messages" = r.P.Runner.messages);
+        assert (delta d "runner.commit_bytes" = r.P.Runner.commit_bytes);
+        Printf.printf "%4d  %12.2f  %12.2f  %12.2f  %10d  %8d\n%!" k ms
+          ms_disabled
+          (ms /. float_of_int k)
+          r.P.Runner.commit_bytes r.P.Runner.messages;
+        J.Obj
+          [
+            ("k", J.Int k);
+            ("round_ms", J.Float ms);
+            ("round_ms_instrumentation_disabled", J.Float ms_disabled);
+            ("messages", J.Int r.P.Runner.messages);
+            ("commit_bytes", J.Int r.P.Runner.commit_bytes);
+            ("ops", crypto_ops d);
+          ])
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  J.Obj [ ("rows", J.List rows) ]
 
 (* ---- E2: existential operator (§3.2) -------------------------------------- *)
 
@@ -91,7 +135,8 @@ let e2 () =
   header "E2  existential operator (§3.2) + ring-signature variant";
   Printf.printf "%4s  %12s  %14s  %14s\n" "k" "exists ms" "ring sign ms"
     "ring verify ms";
-  List.iter
+  let rows =
+  List.map
     (fun k ->
       let rng = C.Drbg.of_int_seed (200 + k) in
       let inputs =
@@ -126,8 +171,17 @@ let e2 () =
             P.Proto_exists.ring_check keyring ~ring ~epoch:1 ~prefix:prefix0 rs)
       in
       Printf.printf "%4d  %12.2f  %14.2f  %14.2f\n%!" k exists_ms sig_ms
-        verify_ms)
+        verify_ms;
+      J.Obj
+        [
+          ("k", J.Int k);
+          ("exists_ms", J.Float exists_ms);
+          ("ring_sign_ms", J.Float sig_ms);
+          ("ring_verify_ms", J.Float verify_ms);
+        ])
     [ 2; 4; 8; 16 ]
+  in
+  J.Obj [ ("rows", J.List rows) ]
 
 (* ---- E3: generalized graph protocol (Fig. 2, §3.5-3.7) -------------------- *)
 
@@ -157,24 +211,39 @@ let e3 () =
         R.Promise.Export_if_any (List.map fst (routes_for 4)) );
     ]
   in
-  List.iter
-    (fun (name, k, promise) ->
-      let rng = C.Drbg.of_int_seed (300 + k) in
-      let run () =
-        P.Runner.graph_round rng keyring ~prover:a_as ~beneficiary:b_as
-          ~epoch:1 ~prefix:prefix0 ~promise ~routes:(routes_for k)
-      in
-      let ms = time_ms run in
-      let r = run () in
-      assert (not r.P.Runner.detected);
-      let rfg =
-        R.Promise.reference_rfg promise ~beneficiary:b_as
-          ~neighbors:(List.map fst (routes_for k))
-      in
-      Printf.printf "%-22s  %4d  %9d  %10.2f  %12d\n%!" name k
-        (List.length (R.Rfg.vertex_ids rfg))
-        ms r.P.Runner.commit_bytes)
-    cases
+  let rows =
+    List.map
+      (fun (name, k, promise) ->
+        let rng = C.Drbg.of_int_seed (300 + k) in
+        let run () =
+          P.Runner.graph_round rng keyring ~prover:a_as ~beneficiary:b_as
+            ~epoch:1 ~prefix:prefix0 ~promise ~routes:(routes_for k)
+        in
+        let ms = time_ms run in
+        let r, d = counted run in
+        assert (not r.P.Runner.detected);
+        assert (delta d "runner.messages" = r.P.Runner.messages);
+        assert (delta d "runner.commit_bytes" = r.P.Runner.commit_bytes);
+        let rfg =
+          R.Promise.reference_rfg promise ~beneficiary:b_as
+            ~neighbors:(List.map fst (routes_for k))
+        in
+        Printf.printf "%-22s  %4d  %9d  %10.2f  %12d\n%!" name k
+          (List.length (R.Rfg.vertex_ids rfg))
+          ms r.P.Runner.commit_bytes;
+        J.Obj
+          [
+            ("promise", J.String name);
+            ("k", J.Int k);
+            ("vertices", J.Int (List.length (R.Rfg.vertex_ids rfg)));
+            ("round_ms", J.Float ms);
+            ("messages", J.Int r.P.Runner.messages);
+            ("commit_bytes", J.Int r.P.Runner.commit_bytes);
+            ("ops", crypto_ops d);
+          ])
+      cases
+  in
+  J.Obj [ ("rows", J.List rows) ]
 
 (* ---- E4: primitive costs (§3.8) -------------------------------------------- *)
 
@@ -198,16 +267,41 @@ let e4 () =
     ]
   in
   Printf.printf "%-16s  %12s   paper (2011 hw)\n" "operation" "measured ms";
-  List.iter
-    (fun (name, ms) ->
-      let note =
-        match name with
-        | "rsa-1024 sign" -> "~2 ms"
-        | "sha256 64B" -> "\"relatively cheap\""
-        | _ -> ""
-      in
-      Printf.printf "%-16s  %12.4f   %s\n%!" name ms note)
-    rows
+  let jrows =
+    List.map
+      (fun (name, ms) ->
+        let note =
+          match name with
+          | "rsa-1024 sign" -> "~2 ms"
+          | "sha256 64B" -> "\"relatively cheap\""
+          | _ -> ""
+        in
+        Printf.printf "%-16s  %12.4f   %s\n%!" name ms note;
+        J.Obj
+          [
+            ("operation", J.String name);
+            ("measured_ms", J.Float ms);
+            ("paper_note", J.String note);
+          ])
+      rows
+  in
+  (* The §3.8 overhead argument, machine-checkable: one RSA signature plus
+     k SHA-256 commitments per verified update. *)
+  let sign_ms = List.assoc "rsa-1024 sign" rows in
+  let sha_ms = List.assoc "sha256 64B" rows in
+  J.Obj
+    [
+      ("rows", J.List jrows);
+      ( "s38_claim",
+        J.Obj
+          [
+            ("paper_rsa1024_sign_ms", J.Float 2.0);
+            ("measured_rsa1024_sign_ms", J.Float sign_ms);
+            ("measured_sha256_64B_ms", J.Float sha_ms);
+            ( "per_update_overhead_ms_k32",
+              J.Float (sign_ms +. (32.0 *. sha_ms)) );
+          ] );
+    ]
 
 (* ---- E5: batch signing with a small MHT (§3.8) ------------------------------ *)
 
@@ -216,7 +310,8 @@ let e5 () =
   let key = P.Keyring.private_key keyring a_as in
   Printf.printf "%6s  %16s  %16s  %10s\n" "batch" "per-route ms"
     "(individual)" "amortize";
-  List.iter
+  let rows =
+  List.map
     (fun batch ->
       let rng = C.Drbg.of_int_seed (500 + batch) in
       let events =
@@ -245,8 +340,18 @@ let e5 () =
       Printf.printf "%6d  %16.4f  %16.4f  %9.1fx\n%!" batch
         (batched_ms /. float_of_int batch)
         (individual_ms /. float_of_int batch)
-        (individual_ms /. batched_ms))
+        (individual_ms /. batched_ms);
+      J.Obj
+        [
+          ("batch", J.Int batch);
+          ("batched_per_route_ms", J.Float (batched_ms /. float_of_int batch));
+          ( "individual_per_route_ms",
+            J.Float (individual_ms /. float_of_int batch) );
+          ("amortization", J.Float (individual_ms /. batched_ms));
+        ])
     [ 1; 4; 16; 64; 256 ]
+  in
+  J.Obj [ ("rows", J.List rows) ]
 
 (* ---- E5b: commitment-strategy ablation (DESIGN §5) ---------------------------- *)
 
@@ -254,20 +359,32 @@ let e5b () =
   header "E5b ablation: per-bit commitments vs Merkle-committed bit vector";
   Printf.printf "%4s  %14s  %14s  %14s  %14s\n" "k" "publish B (pb)"
     "publish B (mv)" "open B (pb)" "open B (mv)";
-  List.iter
-    (fun k ->
-      let rng = C.Drbg.of_int_seed (550 + k) in
-      let bits = List.init k (fun i -> i mod 3 = 0) in
-      let t_pb, pub_pb = P.Bitvec.commit rng P.Bitvec.Per_bit bits in
-      let t_mv, pub_mv = P.Bitvec.commit rng P.Bitvec.Merkle_vector bits in
-      Printf.printf "%4d  %14d  %14d  %14d  %14d\n%!" k
-        (P.Bitvec.published_bytes pub_pb)
-        (P.Bitvec.published_bytes pub_mv)
-        (P.Bitvec.proof_bytes (P.Bitvec.open_bit t_pb (k / 2)))
-        (P.Bitvec.proof_bytes (P.Bitvec.open_bit t_mv (k / 2))))
-    [ 8; 16; 32; 64; 128 ];
+  let rows =
+    List.map
+      (fun k ->
+        let rng = C.Drbg.of_int_seed (550 + k) in
+        let bits = List.init k (fun i -> i mod 3 = 0) in
+        let t_pb, pub_pb = P.Bitvec.commit rng P.Bitvec.Per_bit bits in
+        let t_mv, pub_mv = P.Bitvec.commit rng P.Bitvec.Merkle_vector bits in
+        let pub_pb_b = P.Bitvec.published_bytes pub_pb
+        and pub_mv_b = P.Bitvec.published_bytes pub_mv
+        and open_pb_b = P.Bitvec.proof_bytes (P.Bitvec.open_bit t_pb (k / 2))
+        and open_mv_b = P.Bitvec.proof_bytes (P.Bitvec.open_bit t_mv (k / 2)) in
+        Printf.printf "%4d  %14d  %14d  %14d  %14d\n%!" k pub_pb_b pub_mv_b
+          open_pb_b open_mv_b;
+        J.Obj
+          [
+            ("k", J.Int k);
+            ("publish_bytes_per_bit", J.Int pub_pb_b);
+            ("publish_bytes_merkle", J.Int pub_mv_b);
+            ("open_bytes_per_bit", J.Int open_pb_b);
+            ("open_bytes_merkle", J.Int open_mv_b);
+          ])
+      [ 8; 16; 32; 64; 128 ]
+  in
   print_endline
-    "shape: publishing is O(k) vs O(1); a single disclosure is O(1) vs O(log k)."
+    "shape: publishing is O(k) vs O(1); a single disclosure is O(1) vs O(log k).";
+  J.Obj [ ("rows", J.List rows) ]
 
 (* ---- E6: strawman comparison (§3.1) ------------------------------------------ *)
 
@@ -278,7 +395,8 @@ let e6 () =
     (Smc.Cost_model.anchor_check model);
   Printf.printf "%4s  %12s  %14s  %14s  %14s  %10s\n" "k" "PVR ms"
     "GMW sim ms" "SMC model s" "ZKP model s" "SMC/PVR";
-  List.iter
+  let rows =
+  List.map
     (fun k ->
       let pvr_ms = time_ms (fun () -> min_round_once k) in
       let circuit = Smc.Circuit.minimum ~bits:8 ~k in
@@ -294,8 +412,19 @@ let e6 () =
       in
       Printf.printf "%4d  %12.2f  %14.2f  %14.1f  %14.2f  %9.0fx\n%!" k pvr_ms
         gmw_ms smc_s zkp_s
-        (smc_s *. 1000.0 /. pvr_ms))
+        (smc_s *. 1000.0 /. pvr_ms);
+      J.Obj
+        [
+          ("k", J.Int k);
+          ("pvr_ms", J.Float pvr_ms);
+          ("gmw_sim_ms", J.Float gmw_ms);
+          ("smc_model_s", J.Float smc_s);
+          ("zkp_model_s", J.Float zkp_s);
+          ("smc_over_pvr", J.Float (smc_s *. 1000.0 /. pvr_ms));
+        ])
     [ 2; 4; 8; 16; 32 ]
+  in
+  J.Obj [ ("rows", J.List rows) ]
 
 (* ---- E7: confidentiality / leakage (§2.3, §1) --------------------------------- *)
 
@@ -303,7 +432,8 @@ let e7 () =
   header "E7  leakage audit: PVR vs NetReview vs plain BGP (§2.3)";
   Printf.printf "%4s  %18s  %18s  %22s\n" "k" "PVR excess (B)"
     "PVR excess (Ni)" "NetReview excess (Ni)";
-  List.iter
+  let rows =
+  List.map
     (fun k ->
       let inputs = routes_for k in
       let min_len =
@@ -328,11 +458,21 @@ let e7 () =
           ~revealed_bit:(Some (G.Route.path_length r1, true))
       in
       let n_netreview = P.Leakage.netreview_neighbor ~inputs in
-      Printf.printf "%4d  %18d  %18d  %22d\n%!" k
-        (P.Leakage.excess_count ~baseline:b_baseline ~observed:b_pvr)
-        (P.Leakage.excess_count ~baseline:n_baseline ~observed:n_pvr)
-        (P.Leakage.excess_count ~baseline:n_baseline ~observed:n_netreview))
-    [ 2; 4; 8; 16; 32 ];
+      let eb = P.Leakage.excess_count ~baseline:b_baseline ~observed:b_pvr
+      and en = P.Leakage.excess_count ~baseline:n_baseline ~observed:n_pvr
+      and enr =
+        P.Leakage.excess_count ~baseline:n_baseline ~observed:n_netreview
+      in
+      Printf.printf "%4d  %18d  %18d  %22d\n%!" k eb en enr;
+      J.Obj
+        [
+          ("k", J.Int k);
+          ("pvr_excess_beneficiary", J.Int eb);
+          ("pvr_excess_neighbor", J.Int en);
+          ("netreview_excess_neighbor", J.Int enr);
+        ])
+    [ 2; 4; 8; 16; 32 ]
+  in
   (* The §1 inference attack: how well does Gao-style inference do on what
      each scheme reveals? *)
   let rng = C.Drbg.of_int_seed 777 in
@@ -377,7 +517,19 @@ let e7 () =
      Adj-RIB-In (NetReview view) %.2f  (%d vs %d paths)\n%!"
     (acc best_paths) (acc all_paths)
     (List.length best_paths)
-    (List.length all_paths)
+    (List.length all_paths);
+  J.Obj
+    [
+      ("rows", J.List rows);
+      ( "gao_inference",
+        J.Obj
+          [
+            ("accuracy_pvr_view", J.Float (acc best_paths));
+            ("accuracy_netreview_view", J.Float (acc all_paths));
+            ("paths_pvr_view", J.Int (List.length best_paths));
+            ("paths_netreview_view", J.Int (List.length all_paths));
+          ] );
+    ]
 
 (* ---- E8: detection / evidence / accuracy matrix (§2.3) ------------------------- *)
 
@@ -385,41 +537,58 @@ let e8 () =
   header "E8  fault-injection matrix (§2.3 Detection/Evidence/Accuracy)";
   Printf.printf "%-20s  %9s  %9s  %10s  %-40s\n" "behaviour" "detected"
     "convicted" "evidence#" "first evidence";
-  List.iter
-    (fun beh ->
-      let rng = C.Drbg.of_int_seed 800 in
-      let r =
-        P.Runner.min_round beh rng keyring ~prover:a_as ~beneficiary:b_as
-          ~epoch:1 ~prefix:prefix0 ~routes:(routes_for 4)
-      in
-      let first =
-        match r.P.Runner.raised with
-        | (_, e) :: _ -> P.Evidence.describe e
-        | [] -> "-"
-      in
-      Printf.printf "%-20s  %9b  %9b  %10d  %-40s\n%!"
-        (P.Adversary.to_string beh)
-        r.P.Runner.detected r.P.Runner.convicted
-        (List.length r.P.Runner.raised)
-        first)
-    P.Adversary.all;
+  let rows =
+    List.map
+      (fun beh ->
+        let rng = C.Drbg.of_int_seed 800 in
+        let r =
+          P.Runner.min_round beh rng keyring ~prover:a_as ~beneficiary:b_as
+            ~epoch:1 ~prefix:prefix0 ~routes:(routes_for 4)
+        in
+        let first =
+          match r.P.Runner.raised with
+          | (_, e) :: _ -> P.Evidence.describe e
+          | [] -> "-"
+        in
+        Printf.printf "%-20s  %9b  %9b  %10d  %-40s\n%!"
+          (P.Adversary.to_string beh)
+          r.P.Runner.detected r.P.Runner.convicted
+          (List.length r.P.Runner.raised)
+          first;
+        J.Obj
+          [
+            ("behaviour", J.String (P.Adversary.to_string beh));
+            ("detected", J.Bool r.P.Runner.detected);
+            ("convicted", J.Bool r.P.Runner.convicted);
+            ("evidence_count", J.Int (List.length r.P.Runner.raised));
+            ("first_evidence", J.String first);
+          ])
+      P.Adversary.all
+  in
   (* Gossip-fanout ablation: single-round equivocation detection. *)
   Printf.printf "\ngossip ablation (equivocate, one round): ";
-  List.iter
-    (fun (label, gossip) ->
-      let rng = C.Drbg.of_int_seed 801 in
-      let r =
-        P.Runner.min_round ~gossip P.Adversary.Equivocate rng keyring
-          ~prover:a_as ~beneficiary:b_as ~epoch:1 ~prefix:prefix0
-          ~routes:(routes_for 4)
-      in
-      Printf.printf "%s=%b " label
-        (List.exists
-           (fun (_, e) ->
-             match e with P.Evidence.Equivocation _ -> true | _ -> false)
-           r.P.Runner.raised))
-    [ ("clique", `Clique); ("ring", `Ring); ("none", `None) ];
-  print_newline ()
+  let ablation =
+    List.map
+      (fun (label, gossip) ->
+        let rng = C.Drbg.of_int_seed 801 in
+        let r =
+          P.Runner.min_round ~gossip P.Adversary.Equivocate rng keyring
+            ~prover:a_as ~beneficiary:b_as ~epoch:1 ~prefix:prefix0
+            ~routes:(routes_for 4)
+        in
+        let caught =
+          List.exists
+            (fun (_, e) ->
+              match e with P.Evidence.Equivocation _ -> true | _ -> false)
+            r.P.Runner.raised
+        in
+        Printf.printf "%s=%b " label caught;
+        (label, J.Bool caught))
+      [ ("clique", `Clique); ("ring", `Ring); ("none", `None) ]
+  in
+  print_newline ();
+  J.Obj
+    [ ("rows", J.List rows); ("gossip_ablation", J.Obj ablation) ]
 
 (* ---- E9: online verification throughput ----------------------------------------- *)
 
@@ -463,7 +632,16 @@ let e9 () =
     (List.length table) k dt
     (float_of_int (List.length table) /. dt)
     (dt *. 1000.0 /. float_of_int (List.length table))
-    (List.length detected)
+    (List.length detected);
+  J.Obj
+    [
+      ("prefixes", J.Int (List.length table));
+      ("k", J.Int k);
+      ("seconds", J.Float dt);
+      ("updates_per_s", J.Float (float_of_int (List.length table) /. dt));
+      ("ms_per_update", J.Float (dt *. 1000.0 /. float_of_int (List.length table)));
+      ("false_positives", J.Int (List.length detected));
+    ]
 
 (* ---- Bechamel: one Test.make per experiment ------------------------------------- *)
 
@@ -544,27 +722,64 @@ let run_bechamel () =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Printf.printf "%-28s  %14s  %8s\n" "benchmark" "ns/run" "r^2";
-  List.iter
-    (fun (name, res) ->
-      let est =
-        match Analyze.OLS.estimates res with Some (e :: _) -> e | _ -> nan
-      in
-      let r2 = Option.value (Analyze.OLS.r_square res) ~default:nan in
-      Printf.printf "%-28s  %14.0f  %8.4f\n%!" name est r2)
-    rows
+  let jrows =
+    List.map
+      (fun (name, res) ->
+        let est =
+          match Analyze.OLS.estimates res with Some (e :: _) -> e | _ -> nan
+        in
+        let r2 = Option.value (Analyze.OLS.r_square res) ~default:nan in
+        Printf.printf "%-28s  %14.0f  %8.4f\n%!" name est r2;
+        J.Obj
+          [
+            ("name", J.String name);
+            ("ns_per_run", J.Float est);
+            ("r_square", J.Float r2);
+          ])
+      rows
+  in
+  J.Obj [ ("rows", J.List jrows) ]
+
+let bench_json_path = "BENCH_pvr.json"
 
 let () =
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e5b ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  run_bechamel ();
+  Obs.set_enabled true;
+  Obs.reset_all ();
+  let experiments =
+    [
+      ("e1_min_operator", e1);
+      ("e2_existential", e2);
+      ("e3_graph_protocol", e3);
+      ("e4_primitives", e4);
+      ("e5_batching", e5);
+      ("e5b_bitvec_ablation", e5b);
+      ("e6_strawman_comparison", e6);
+      ("e7_leakage", e7);
+      ("e8_fault_matrix", e8);
+      ("e9_online_throughput", e9);
+      ("bechamel", run_bechamel);
+    ]
+  in
+  let results = List.map (fun (name, f) -> (name, f ())) experiments in
+  let doc =
+    J.Obj
+      ([
+         ("schema", J.String "pvr-bench/1");
+         ("rsa_bits", J.Int 1024);
+         ("max_providers", J.Int max_k);
+       ]
+      @ results
+      @ [
+          (* Cumulative op counts and span histograms over the whole run. *)
+          ( "totals",
+            Obs.Snapshot.to_json (Obs.Snapshot.capture ()) );
+        ])
+  in
+  Out_channel.with_open_text bench_json_path (fun oc ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
   print_newline ();
-  print_endline
-    "All experiments completed; see EXPERIMENTS.md for the mapping to the paper."
+  Printf.printf
+    "All experiments completed; machine-readable results written to %s.\n"
+    bench_json_path;
+  print_endline "See EXPERIMENTS.md for the mapping to the paper."

@@ -9,8 +9,24 @@ module P = Pvr
 module G = Pvr_bgp
 module R = Pvr_rfg
 module C = Pvr_crypto
+module Obs = Pvr_obs
 
 let asn = G.Asn.of_int
+
+(* Shared --stats behaviour: enable the pvr_obs registry for the command
+   and print the JSON snapshot (op counts, byte counts, span histograms)
+   when it finishes. *)
+let with_stats stats f =
+  if not stats then f ()
+  else begin
+    Obs.set_enabled true;
+    Obs.reset_all ();
+    Fun.protect
+      ~finally:(fun () ->
+        print_endline
+          (Obs.Json.to_string (Obs.Snapshot.to_json (Obs.Snapshot.capture ()))))
+      f
+  end
 
 (* ---- round ---------------------------------------------------------------- *)
 
@@ -29,7 +45,9 @@ let behaviour_conv =
   let print ppf b = Format.pp_print_string ppf (P.Adversary.to_string b) in
   Cmdliner.Arg.conv (parse, print)
 
-let run_round behaviour k bits seed dump_evidence =
+let run_round behaviour k bits seed dump_evidence stats =
+  let failed = ref false in
+  with_stats stats (fun () ->
   let rng = C.Drbg.of_int_seed seed in
   let a = asn 1 and b = asn 100 in
   let providers = List.init k (fun i -> asn (10 + i)) in
@@ -63,7 +81,8 @@ let run_round behaviour k bits seed dump_evidence =
           (String.sub (P.Evidence_codec.to_hex e) 0
              (min 96 (String.length (P.Evidence_codec.to_hex e)))))
     r.P.Runner.judged;
-  if behaviour = P.Adversary.Honest && r.P.Runner.detected then exit 1
+  if behaviour = P.Adversary.Honest && r.P.Runner.detected then failed := true);
+  if !failed then exit 1
 
 (* ---- check ----------------------------------------------------------------- *)
 
@@ -98,7 +117,8 @@ let run_check file =
 
 (* ---- topology --------------------------------------------------------------- *)
 
-let run_topology tiers peering seed =
+let run_topology tiers peering seed stats =
+  with_stats stats @@ fun () ->
   let rng = C.Drbg.of_int_seed seed in
   let tiers = List.map int_of_string (String.split_on_char ',' tiers) in
   let topo = G.Topology.hierarchy rng ~tiers ~extra_peering:peering in
@@ -120,7 +140,8 @@ let run_topology tiers peering seed =
 
 (* ---- primitives ------------------------------------------------------------- *)
 
-let run_primitives bits =
+let run_primitives bits stats =
+  with_stats stats @@ fun () ->
   let rng = C.Drbg.of_int_seed 1 in
   Printf.printf "RSA-%d keygen...\n%!" bits;
   let key = C.Rsa.generate rng ~bits in
@@ -146,6 +167,14 @@ let run_primitives bits =
 
 open Cmdliner
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect pvr_obs metrics (crypto op counts, wire bytes, spans) \
+           during the command and print the JSON snapshot on exit.")
+
 let round_cmd =
   let behaviour =
     Arg.(
@@ -168,7 +197,7 @@ let round_cmd =
   in
   Cmd.v
     (Cmd.info "round" ~doc:"Run one Figure-1 verification round")
-    Term.(const run_round $ behaviour $ k $ bits $ seed $ dump)
+    Term.(const run_round $ behaviour $ k $ bits $ seed $ dump $ stats_arg)
 
 let check_cmd =
   let file =
@@ -188,7 +217,7 @@ let topology_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"DRBG seed.") in
   Cmd.v
     (Cmd.info "topology" ~doc:"Generate a hierarchy and run BGP to convergence")
-    Term.(const run_topology $ tiers $ peering $ seed)
+    Term.(const run_topology $ tiers $ peering $ seed $ stats_arg)
 
 let primitives_cmd =
   let bits =
@@ -196,7 +225,7 @@ let primitives_cmd =
   in
   Cmd.v
     (Cmd.info "primitives" ~doc:"Time the §3.8 crypto primitives")
-    Term.(const run_primitives $ bits)
+    Term.(const run_primitives $ bits $ stats_arg)
 
 let () =
   let info =

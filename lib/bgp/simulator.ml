@@ -22,6 +22,11 @@ type t = {
   mutable log : update list; (* newest first *)
 }
 
+let obs_updates = Pvr_obs.counter "sim.updates.processed"
+let obs_runs = Pvr_obs.counter "sim.runs"
+let obs_originates = Pvr_obs.counter "sim.originates"
+let obs_withdrawals = Pvr_obs.counter "sim.withdrawals"
+
 let create topo =
   let nodes =
     List.fold_left
@@ -127,11 +132,13 @@ let reselect t n prefix =
     (Topology.neighbors t.topo n.asn)
 
 let originate t ~asn prefix =
+  Pvr_obs.incr obs_originates;
   let n = node t asn in
   n.origins <- Prefix.Set.add prefix n.origins;
   reselect t n prefix
 
 let withdraw_origin t ~asn prefix =
+  Pvr_obs.incr obs_withdrawals;
   let n = node t asn in
   n.origins <- Prefix.Set.remove prefix n.origins;
   reselect t n prefix
@@ -149,16 +156,19 @@ let deliver t (u : update) =
   reselect t n u.prefix
 
 let run ?(max_messages = 1_000_000) t =
-  let processed = ref 0 in
-  while not (Queue.is_empty t.queue) do
-    if !processed >= max_messages then
-      failwith "Simulator.run: no convergence (policy dispute?)";
-    let u = Queue.pop t.queue in
-    t.log <- u :: t.log;
-    incr processed;
-    deliver t u
-  done;
-  !processed
+  Pvr_obs.incr obs_runs;
+  Pvr_obs.with_span "sim.run" (fun () ->
+      let processed = ref 0 in
+      while not (Queue.is_empty t.queue) do
+        if !processed >= max_messages then
+          failwith "Simulator.run: no convergence (policy dispute?)";
+        let u = Queue.pop t.queue in
+        t.log <- u :: t.log;
+        incr processed;
+        deliver t u
+      done;
+      Pvr_obs.add obs_updates !processed;
+      !processed)
 
 let rib t asn = (node t asn).rib
 

@@ -64,6 +64,7 @@ let sign_export keyring ~prover ~epoch ~beneficiary ~route ~provenance =
 
 let run_min behaviour ?(max_path_len = Proto_min.default_max_path_len) rng
     keyring ~prover ~beneficiary ~epoch ~prefix ~inputs =
+  Pvr_obs.with_span "adversary.run_min" @@ fun () ->
   let inputs =
     List.filter
       (fun ann ->

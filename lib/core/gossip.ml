@@ -21,6 +21,9 @@ type t = {
       (* per holder, per slot, the first commitment seen *)
 }
 
+let obs_exchanges = Pvr_obs.counter "gossip.exchanges"
+let obs_equivocations = Pvr_obs.counter "gossip.equivocations"
+
 let create keyring = { keyring; held = Bgp.Asn.Map.empty }
 
 let holder_map t holder =
@@ -37,11 +40,18 @@ let receive t ~holder commit =
         None
     | Some existing ->
         if Wire.equal_commit existing commit then None
-        else Some (Evidence.Equivocation { first = existing; second = commit })
+        else begin
+          Pvr_obs.incr obs_equivocations;
+          Some (Evidence.Equivocation { first = existing; second = commit })
+        end
   end
 
-let exchange t x y =
-  let mx = holder_map t x and my = holder_map t y in
+(* [view_of] decides what each party transmits: for a standalone exchange
+   that is the current view; for a synchronous round it is the view frozen
+   at the start of the round, so information travels one hop per round. *)
+let exchange_via t ~view_of x y =
+  Pvr_obs.incr obs_exchanges;
+  let mx = view_of x and my = view_of y in
   let evidence = ref [] in
   let merge_into holder theirs =
     Slot_map.iter
@@ -55,8 +65,41 @@ let exchange t x y =
   merge_into y mx;
   List.rev !evidence
 
+let exchange t x y = exchange_via t ~view_of:(holder_map t) x y
+
+(* A round visits many edges, and the same conflicting commitment pair
+   surfaces at every holder that has seen both halves; report it once.
+   Non-equivocation evidence (none arises here today) passes through. *)
+let evidence_key = function
+  | Evidence.Equivocation { first; second } ->
+      let a = Wire.encode_signed ~encode:Wire.encode_commit first
+      and b = Wire.encode_signed ~encode:Wire.encode_commit second in
+      Some (if a <= b then a ^ b else b ^ a)
+  | _ -> None
+
 let run_round t ~edges =
-  List.concat_map (fun (x, y) -> exchange t x y) edges
+  (* Synchronous round: every edge transmits the views the holders had when
+     the round started.  Gossip therefore spreads one hop per round — on a
+     ring, an equivocation towards two holders more than two hops apart
+     survives the first round (the E8 ablation), while a clique always has
+     the direct edge.  Conflicts are still checked against each holder's
+     live view, so a holder told two different things within one round does
+     detect it. *)
+  let start = t.held in
+  let view_of holder =
+    Option.value (Bgp.Asn.Map.find_opt holder start) ~default:Slot_map.empty
+  in
+  let seen = Hashtbl.create 8 in
+  List.concat_map (fun (x, y) -> exchange_via t ~view_of x y) edges
+  |> List.filter (fun e ->
+         match evidence_key e with
+         | None -> true
+         | Some key ->
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.add seen key ();
+               true
+             end)
 
 let clique_edges members =
   let rec go = function

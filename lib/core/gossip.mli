@@ -25,7 +25,12 @@ val exchange : t -> Pvr_bgp.Asn.t -> Pvr_bgp.Asn.t -> Evidence.t list
 
 val run_round :
   t -> edges:(Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list -> Evidence.t list
-(** Run {!exchange} over every edge (deduplicated evidence). *)
+(** One synchronous gossip round: every edge exchanges the views its two
+    endpoints held when the round {e started}, so information travels one
+    hop per round (an equivocation split across distant ring members needs
+    several rounds to surface, which is what E8 ablates).  The returned
+    evidence is deduplicated: a conflicting commitment pair is reported
+    once per round no matter how many holders observed it. *)
 
 val clique_edges : Pvr_bgp.Asn.t list -> (Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list
 val ring_edges : Pvr_bgp.Asn.t list -> (Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list

@@ -214,6 +214,7 @@ let rec build_subtree rng ~k ~ns rfg valuation =
 
 let prove ?(max_path_len = 32) rng keyring ~prover ~epoch ~prefix ~rfg ~inputs
     =
+  Pvr_obs.with_span "proto_graph.prove" @@ fun () ->
   let inputs =
     List.filter
       (Proto_common.valid_input keyring ~prover ~epoch ~prefix)

@@ -17,6 +17,7 @@ let path_len (ann : Wire.announce Wire.signed) =
 
 let prove ?(max_path_len = default_max_path_len) rng keyring ~prover
     ~beneficiary ~epoch ~prefix ~inputs =
+  Pvr_obs.with_span "proto_min.prove" @@ fun () ->
   let inputs =
     List.filter
       (fun ann ->

@@ -1,5 +1,15 @@
 module Bgp = Pvr_bgp
 module C = Pvr_crypto
+module Obs = Pvr_obs
+
+(* Tally keys: every round counts its protocol messages and the size of the
+   largest commitment message through the obs subsystem.  The tally is
+   always live (the report is built from it); [Obs.Tally.publish] mirrors
+   the totals into the global "runner.*" counters when metrics are on. *)
+let k_messages = "runner.messages"
+let k_commit_bytes = "runner.commit_bytes"
+
+let obs_rounds = Obs.counter "runner.rounds"
 
 type report = {
   raised : (Adversary.detector * Evidence.t) list;
@@ -15,7 +25,9 @@ let announce_of_route keyring ~provider ~prover ~epoch route =
   Wire.sign keyring ~as_:provider ~encode:Wire.encode_announce
     { Wire.ann_epoch = epoch; ann_to = prover; ann_route = route }
 
-let finish keyring ~respond raised ~messages ~commit_bytes =
+let finish keyring ~respond raised ~tally =
+  Obs.incr obs_rounds;
+  Obs.Tally.publish tally;
   let judged =
     List.map
       (fun (who, e) -> (who, e, Judge.evaluate keyring ~respond e))
@@ -27,12 +39,14 @@ let finish keyring ~respond raised ~messages ~commit_bytes =
     detected = raised <> [];
     convicted = List.exists (fun (_, _, v) -> v = Judge.Guilty) judged;
     exonerated = List.exists (fun (_, _, v) -> v = Judge.Exonerated) judged;
-    messages;
-    commit_bytes;
+    messages = Obs.Tally.get tally k_messages;
+    commit_bytes = Obs.Tally.get tally k_commit_bytes;
   }
 
 let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
     ~beneficiary ~epoch ~prefix ~routes =
+  Obs.with_span "runner.min_round" @@ fun () ->
+  let tally = Obs.Tally.create () in
   let announces =
     List.map
       (fun (provider, route) ->
@@ -46,17 +60,16 @@ let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
   in
   let providers = List.map fst announces in
   let participants = providers @ [ beneficiary ] in
-  let messages = ref (List.length announces) in
-  let commit_bytes = ref 0 in
+  Obs.Tally.add tally k_messages (List.length announces);
   (* Commitment broadcast + gossip. *)
   let g = Gossip.create keyring in
   let raised = ref [] in
   List.iter
     (fun who ->
       let commit = run.Adversary.commit_for who in
-      incr messages;
-      commit_bytes :=
-        max !commit_bytes (String.length (Wire.encode_commit commit.Wire.payload));
+      Obs.Tally.incr tally k_messages;
+      Obs.Tally.max_ tally k_commit_bytes
+        (String.length (Wire.encode_commit commit.Wire.payload));
       match Gossip.receive g ~holder:who commit with
       | Some e -> raised := (Adversary.Gossip, e) :: !raised
       | None -> ())
@@ -67,7 +80,7 @@ let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
     | `Ring -> Gossip.ring_edges participants
     | `None -> []
   in
-  messages := !messages + List.length edges;
+  Obs.Tally.add tally k_messages (List.length edges);
   List.iter
     (fun e -> raised := (Adversary.Gossip, e) :: !raised)
     (Gossip.run_round g ~edges);
@@ -83,7 +96,7 @@ let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
           let disclosure =
             Option.join (List.assoc_opt provider run.Adversary.neighbor_disclosures)
           in
-          if disclosure <> None then incr messages;
+          if disclosure <> None then Obs.Tally.incr tally k_messages;
           let evs =
             Proto_min.check_neighbor keyring ~me:provider ~my_announce:ann
               ~commit ~disclosure
@@ -99,7 +112,7 @@ let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
    with
   | None -> ()
   | Some commit ->
-      incr messages;
+      Obs.Tally.incr tally k_messages;
       let evs =
         Proto_min.check_beneficiary keyring ~me:beneficiary ~commit
           ~disclosure:run.Adversary.beneficiary_disclosure
@@ -107,11 +120,12 @@ let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
       List.iter
         (fun e -> raised := (Adversary.Beneficiary, e) :: !raised)
         evs);
-  finish keyring ~respond:run.Adversary.respond (List.rev !raised)
-    ~messages:!messages ~commit_bytes:!commit_bytes
+  finish keyring ~respond:run.Adversary.respond (List.rev !raised) ~tally
 
 let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
     ~promise ~routes =
+  Obs.with_span "runner.graph_round" @@ fun () ->
+  let tally = Obs.Tally.create () in
   let announces =
     List.map
       (fun (provider, route) ->
@@ -132,8 +146,9 @@ let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
   in
   let commit = Proto_graph.commit_message ps in
   let export = Proto_graph.exported ps ~beneficiary in
-  let messages = ref (List.length announces + 1) in
-  let commit_bytes = String.length (Wire.encode_commit commit.Wire.payload) in
+  Obs.Tally.add tally k_messages (List.length announces + 1);
+  Obs.Tally.max_ tally k_commit_bytes
+    (String.length (Wire.encode_commit commit.Wire.payload));
   let raised = ref [] in
   (* Gossip of the single root commitment. *)
   let g = Gossip.create keyring in
@@ -154,7 +169,7 @@ let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
       let ds =
         Proto_graph.disclose ~role:(`Provider len) ps ~alpha ~viewer:provider
       in
-      incr messages;
+      Obs.Tally.incr tally k_messages;
       let evs =
         Proto_graph.check_provider keyring ~me:provider ~my_announce:ann
           ~commit ~disclosures:ds
@@ -165,7 +180,7 @@ let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
     announces;
   (* Beneficiary checks. *)
   let ds_b = Proto_graph.disclose ~role:`Beneficiary ps ~alpha ~viewer:beneficiary in
-  incr messages;
+  Obs.Tally.incr tally k_messages;
   let evs =
     Proto_graph.check_beneficiary keyring ~me:beneficiary ~commit
       ~disclosures:ds_b ~export
@@ -173,4 +188,4 @@ let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
   List.iter (fun e -> raised := (Adversary.Beneficiary, e) :: !raised) evs;
   finish keyring
     ~respond:(fun ~accused:_ _ -> Judge.No_response)
-    (List.rev !raised) ~messages:!messages ~commit_bytes
+    (List.rev !raised) ~tally

@@ -6,6 +6,19 @@ type epoch = int
 
 type 'a signed = { payload : 'a; signer : Bgp.Asn.t; signature : string }
 
+let obs_kind kind =
+  ( Pvr_obs.counter (Printf.sprintf "wire.%s.encodes" kind),
+    Pvr_obs.counter (Printf.sprintf "wire.%s.bytes" kind) )
+
+let obs_announce = obs_kind "announce"
+let obs_commit = obs_kind "commit"
+let obs_export = obs_kind "export"
+
+let count (ops, bytes) s =
+  Pvr_obs.incr ops;
+  Pvr_obs.add bytes (String.length s);
+  s
+
 let signing_tag = "pvr-signed-v1:"
 
 let sign_with key ~as_ ~encode payload =
@@ -39,39 +52,42 @@ type export = {
 }
 
 let encode_announce a =
-  BU.encode_list
-    [
-      "announce";
-      BU.be32 a.ann_epoch;
-      BU.be32 (Bgp.Asn.to_int a.ann_to);
-      Bgp.Route.encode a.ann_route;
-    ]
+  count obs_announce
+    (BU.encode_list
+       [
+         "announce";
+         BU.be32 a.ann_epoch;
+         BU.be32 (Bgp.Asn.to_int a.ann_to);
+         Bgp.Route.encode a.ann_route;
+       ])
 
 let encode_commit c =
-  BU.encode_list
-    ([
-       "commit";
-       BU.be32 c.cmt_epoch;
-       Bgp.Prefix.to_string c.cmt_prefix;
-       c.cmt_scheme;
-     ]
-    @ c.cmt_commitments)
+  count obs_commit
+    (BU.encode_list
+       ([
+          "commit";
+          BU.be32 c.cmt_epoch;
+          Bgp.Prefix.to_string c.cmt_prefix;
+          c.cmt_scheme;
+        ]
+       @ c.cmt_commitments))
 
 let encode_signed ~encode s =
   BU.encode_list
     [ encode s.payload; BU.be32 (Bgp.Asn.to_int s.signer); s.signature ]
 
 let encode_export e =
-  BU.encode_list
-    [
-      "export";
-      BU.be32 e.exp_epoch;
-      BU.be32 (Bgp.Asn.to_int e.exp_to);
-      Bgp.Route.encode e.exp_route;
-      (match e.exp_provenance with
-      | None -> ""
-      | Some ann -> encode_signed ~encode:encode_announce ann);
-    ]
+  count obs_export
+    (BU.encode_list
+       [
+         "export";
+         BU.be32 e.exp_epoch;
+         BU.be32 (Bgp.Asn.to_int e.exp_to);
+         Bgp.Route.encode e.exp_route;
+         (match e.exp_provenance with
+         | None -> ""
+         | Some ann -> encode_signed ~encode:encode_announce ann);
+       ])
 
 let equal_commit a b =
   Bgp.Asn.equal a.signer b.signer

@@ -14,8 +14,13 @@ type private_key = {
 
 let e_default = B.of_int 65537
 
+let obs_keygen = Pvr_obs.counter "crypto.rsa.keygen.ops"
+let obs_sign = Pvr_obs.counter "crypto.rsa.sign.ops"
+let obs_verify = Pvr_obs.counter "crypto.rsa.verify.ops"
+
 let generate rng ~bits =
   if bits < 32 then invalid_arg "Rsa.generate: modulus too small";
+  Pvr_obs.incr obs_keygen;
   let half = bits / 2 in
   let rec attempt () =
     let p = Prime.generate rng ~bits:half in
@@ -70,12 +75,14 @@ let encode_digest ~key_bytes msg =
   "\x00\x01" ^ String.make pad_len '\xff' ^ "\x00" ^ t
 
 let sign key msg =
+  Pvr_obs.incr obs_sign;
   let kb = key_size key.pub in
   let em = encode_digest ~key_bytes:kb msg in
   let s = raw_apply_private key (B.of_bytes_be em) in
   B.to_bytes_be ~pad_to:kb s
 
 let verify pub ~msg ~signature =
+  Pvr_obs.incr obs_verify;
   let kb = key_size pub in
   String.length signature = kb
   &&

@@ -5,6 +5,9 @@ let digest_size = 32
 let block_size = 64
 let mask32 = 0xFFFFFFFF
 
+let obs_ops = Pvr_obs.counter "crypto.sha256.ops"
+let obs_bytes = Pvr_obs.counter "crypto.sha256.bytes"
+
 let k =
   [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
      0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
@@ -107,6 +110,8 @@ let update ctx s =
   end
 
 let finalize ctx =
+  Pvr_obs.incr obs_ops;
+  Pvr_obs.add obs_bytes (Int64.to_int ctx.total);
   let bit_len = Int64.mul ctx.total 8L in
   let pad_len =
     let rem = (ctx.buf_len + 1 + 8) mod block_size in

@@ -1,0 +1,138 @@
+(** Metrics and tracing for the PVR stack.
+
+    §3.8 of the paper argues the overhead of verification is low — one
+    SHA-256 per commitment bit and one RSA signature per update.  This
+    module turns that argument into measurements: the crypto, wire, gossip,
+    simulator and runner layers increment named {e counters} (operation and
+    byte counts) and record named {e spans} (latency histograms) into a
+    global registry, which {!Snapshot} exports as JSON for
+    [BENCH_pvr.json] and the CLI's [--stats] flag.
+
+    Instrumentation is {e disabled by default} and is a single branch on a
+    [bool ref] when off, so the hot paths pay nothing measurable.  The one
+    exception is {!Tally}: protocol-semantic counts (messages exchanged in
+    a round, commitment bytes) that a {!Snapshot} consumer and the runner's
+    report both need, which are therefore always counted locally and only
+    {e published} to the global registry when enabled. *)
+
+val set_enabled : bool -> unit
+(** Turn global metric collection on or off (default: off). *)
+
+val enabled : unit -> bool
+
+(** {2 Counters} *)
+
+type counter
+(** A monotonic named counter (also used for byte accumulators). *)
+
+val counter : string -> counter
+(** Get or create the registered counter with that name.  Counter names use
+    dotted paths, e.g. ["crypto.sha256.ops"] or ["wire.commit.bytes"]. *)
+
+val incr : counter -> unit
+(** No-op while disabled. *)
+
+val add : counter -> int -> unit
+(** No-op while disabled. *)
+
+val value : counter -> int
+
+(** {2 Latency histograms and spans} *)
+
+type histogram
+(** Log-bucketed latency histogram (power-of-two nanosecond buckets). *)
+
+val histogram : string -> histogram
+(** Get or create the registered histogram with that name. *)
+
+val observe : histogram -> float -> unit
+(** Record one duration, in seconds.  No-op while disabled. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and records its wall-clock duration in the
+    histogram [name].  While disabled it is exactly [f ()] — the clock is
+    never read. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter and histogram (registrations remain). *)
+
+(** {2 JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact (single-line) rendering; strings are escaped, non-finite
+      floats become [null]. *)
+end
+
+(** {2 Snapshots} *)
+
+type histogram_stats = {
+  hs_count : int;
+  hs_sum : float;  (** seconds *)
+  hs_min : float;  (** seconds; 0 when the histogram is empty *)
+  hs_max : float;
+  hs_buckets : (float * int) list;
+      (** non-empty buckets as (upper bound in seconds, count) *)
+}
+
+val quantile : histogram_stats -> float -> float
+(** Approximate quantile (bucket upper bound), in seconds. *)
+
+module Snapshot : sig
+  type t
+  (** An immutable copy of every registered counter and histogram. *)
+
+  val capture : unit -> t
+
+  val counters : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val counter_value : t -> string -> int
+  (** 0 for names never registered. *)
+
+  val histograms : t -> (string * histogram_stats) list
+
+  val diff : before:t -> after:t -> t
+  (** Per-name subtraction of counts, sums and buckets — the activity that
+      happened between the two captures.  [hs_min]/[hs_max] are taken from
+      [after] (approximation: log-bucketed histograms cannot subtract
+      extrema). *)
+
+  val to_json : t -> Json.t
+  (** [{"counters": {name: int, ...},
+        "histograms": {name: {"count", "sum_ms", "min_ms", "max_ms",
+                              "p50_ms", "p95_ms"}, ...}}] *)
+end
+
+(** {2 Per-round tallies} *)
+
+module Tally : sig
+  type t
+  (** A small local set of named counts for one protocol round.  Always
+      counted (the runner's report is built from it); {!publish} mirrors it
+      into the global registry when metrics are enabled. *)
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+
+  val max_ : t -> string -> int -> unit
+  (** Keep the maximum of the current and given value (e.g. the largest
+      commitment message of a round). *)
+
+  val get : t -> string -> int
+  (** 0 for names never touched. *)
+
+  val publish : t -> unit
+  (** [add] every entry to the global counter of the same name.  No-op
+      while disabled. *)
+end

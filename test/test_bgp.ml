@@ -345,6 +345,54 @@ let sim_withdraw () =
   check_bool "withdrawn everywhere" true
     (G.Simulator.best_route sim ~asn:(asn 1) prefix0 = None)
 
+let sim_withdraw_no_stale_state () =
+  (* After originate -> converge -> withdraw -> converge, no RIB anywhere —
+     adj-RIB-in, loc-RIB, or adj-RIB-out towards any neighbor — may still
+     hold a route for the prefix. *)
+  let rng = C.Drbg.of_int_seed 23 in
+  let t = G.Topology.hierarchy rng ~tiers:[ 2; 4; 8 ] ~extra_peering:0.15 in
+  let sim = G.Simulator.create t in
+  let origin = asn 14 in
+  G.Simulator.originate sim ~asn:origin prefix0;
+  let _ = G.Simulator.run sim in
+  check_bool "converged with routes" true
+    (G.Simulator.best_route sim ~asn:(asn 1) prefix0 <> None);
+  G.Simulator.withdraw_origin sim ~asn:origin prefix0;
+  let _ = G.Simulator.run sim in
+  List.iter
+    (fun a ->
+      let name fmt = Printf.sprintf fmt (G.Asn.to_string a) in
+      check_bool (name "%s loc-RIB empty") true
+        (G.Simulator.best_route sim ~asn:a prefix0 = None);
+      check_int (name "%s adj-RIB-in empty") 0
+        (List.length (G.Simulator.received_routes sim ~asn:a prefix0));
+      List.iter
+        (fun (n, _) ->
+          check_bool (name "%s adj-RIB-out empty") true
+            (G.Simulator.exported_route sim ~asn:a ~neighbor:n prefix0 = None))
+        (G.Topology.neighbors t a))
+    (G.Topology.ases t)
+
+let sim_run_feeds_counters () =
+  (* With metrics enabled, one simulator run adds exactly its message count
+     to sim.updates.processed and bumps sim.runs / sim.originates /
+     sim.withdrawals. *)
+  Pvr_obs.set_enabled true;
+  Pvr_obs.reset_all ();
+  Fun.protect ~finally:(fun () -> Pvr_obs.set_enabled false) @@ fun () ->
+  let ases = List.init 5 (fun i -> asn (i + 1)) in
+  let sim = G.Simulator.create (G.Topology.chain ases) in
+  G.Simulator.originate sim ~asn:(asn 5) prefix0;
+  let msgs = G.Simulator.run sim in
+  G.Simulator.withdraw_origin sim ~asn:(asn 5) prefix0;
+  let msgs' = G.Simulator.run sim in
+  let v name = Pvr_obs.value (Pvr_obs.counter name) in
+  check_int "updates.processed matches run totals" (msgs + msgs')
+    (v "sim.updates.processed");
+  check_int "two runs" 2 (v "sim.runs");
+  check_int "one originate" 1 (v "sim.originates");
+  check_int "one withdrawal" 1 (v "sim.withdrawals")
+
 let sim_gao_rexford_valley_free () =
   (* A peer route must not be exported to another peer: with two tier-1
      peers P1-P2 and customers C1 under P1, C2 under P2, C1's prefix reaches
@@ -613,6 +661,8 @@ let suite =
     ("sim chain propagation", `Quick, sim_chain_propagation);
     ("sim star: Figure 1 shape", `Quick, sim_star_min_at_center);
     ("sim withdraw", `Quick, sim_withdraw);
+    ("sim withdraw leaves no stale state", `Quick, sim_withdraw_no_stale_state);
+    ("sim run feeds obs counters", `Quick, sim_run_feeds_counters);
     ("sim gao-rexford valley-free", `Quick, sim_gao_rexford_valley_free);
     ("sim import policy filters", `Quick, sim_import_policy_filters);
     ("sim export policy filters", `Quick, sim_export_policy_filters);

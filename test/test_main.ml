@@ -7,4 +7,5 @@ let () =
       ("rfg", Test_rfg.suite);
       ("pvr", Test_pvr.suite);
       ("smc", Test_smc.suite);
+      ("obs", Test_obs.suite);
     ]

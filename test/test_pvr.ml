@@ -1045,6 +1045,142 @@ let wire_decode_rejects_truncation () =
     | Some _ -> Alcotest.failf "truncation at %d accepted" cut
   done
 
+(* ---- transport round-trip properties ---------------------------------------------- *)
+
+let wire_announce_roundtrip_property =
+  qtest "wire: arbitrary announces roundtrip" ~count:25
+    QCheck2.Gen.(triple (int_range 1 9) (int_range 0 3) (int_range 1 8))
+    (fun (epoch, pi, len) ->
+      let ann = announce ~epoch (List.nth providers pi) len in
+      match
+        P.Wire.decode_signed ~decode:P.Wire.decode_announce
+          (P.Wire.encode_signed ~encode:P.Wire.encode_announce ann)
+      with
+      | None -> false
+      | Some ann' ->
+          P.Wire.verify (Lazy.force keyring) ~encode:P.Wire.encode_announce ann'
+          && P.Wire.encode_announce ann'.P.Wire.payload
+             = P.Wire.encode_announce ann.P.Wire.payload)
+
+let wire_commit_roundtrip_property =
+  qtest "wire: arbitrary commits roundtrip" ~count:25
+    QCheck2.Gen.(
+      pair (int_range 1 9)
+        (list_size (int_range 0 6) (string_size (int_range 0 40))))
+    (fun (epoch, commitments) ->
+      let c = sign_commit ~epoch commitments in
+      match
+        P.Wire.decode_signed ~decode:P.Wire.decode_commit
+          (P.Wire.encode_signed ~encode:P.Wire.encode_commit c)
+      with
+      | None -> false
+      | Some c' ->
+          P.Wire.verify (Lazy.force keyring) ~encode:P.Wire.encode_commit c'
+          && c'.P.Wire.payload.P.Wire.cmt_commitments = commitments)
+
+(* Sign once; every property case mutates one byte of the transport bytes.
+   A mutation must be caught somewhere: the decoder rejects it, or the
+   signature check fails.  (A mutation in redundant encoding bits may decode
+   back to the identical statement — re-encoding equal to the original is
+   the only acceptance we allow.) *)
+let wire_mutation_property =
+  let original =
+    lazy (P.Wire.encode_signed ~encode:P.Wire.encode_announce (announce (asn 10) 3))
+  in
+  qtest "wire: mutated bytes never verify" ~count:150
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 255))
+    (fun (pos, delta) ->
+      let original = Lazy.force original in
+      let b = Bytes.of_string original in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos
+        (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xff));
+      match
+        P.Wire.decode_signed ~decode:P.Wire.decode_announce (Bytes.to_string b)
+      with
+      | None -> true
+      | Some ann' ->
+          (not
+             (P.Wire.verify (Lazy.force keyring) ~encode:P.Wire.encode_announce
+                ann'))
+          || P.Wire.encode_signed ~encode:P.Wire.encode_announce ann' = original)
+
+let evidence_equivocation_roundtrip_property =
+  qtest "evidence: arbitrary equivocations roundtrip" ~count:15
+    QCheck2.Gen.(pair (string_size (int_range 0 24)) (string_size (int_range 0 24)))
+    (fun (x, y) ->
+      let e =
+        P.Evidence.Equivocation
+          { first = sign_commit [ x ]; second = sign_commit [ y ] }
+      in
+      match P.Evidence_codec.decode (P.Evidence_codec.encode e) with
+      | None -> false
+      | Some e' -> P.Evidence_codec.encode e' = P.Evidence_codec.encode e)
+
+let evidence_mutation_property =
+  let original =
+    lazy
+      (P.Evidence_codec.encode
+         (P.Evidence.Equivocation
+            { first = sign_commit [ "x" ]; second = sign_commit [ "y" ] }))
+  in
+  qtest "evidence: mutated bytes never convict" ~count:60
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 255))
+    (fun (pos, delta) ->
+      let original = Lazy.force original in
+      let b = Bytes.of_string original in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos
+        (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xff));
+      match P.Evidence_codec.decode (Bytes.to_string b) with
+      | None -> true
+      | Some e' ->
+          P.Evidence_codec.encode e' = original
+          || P.Judge.evaluate_offline (Lazy.force keyring) e' <> P.Judge.Guilty)
+
+(* ---- gossip round semantics -------------------------------------------------------- *)
+
+let gossip_ring_one_round_miss_clique_catches () =
+  (* Six ring members; the conflicting commitments sit three hops apart, so
+     they share neither an edge nor a neighbor.  A synchronous ring round
+     moves views one hop and must miss the conflict; the second round and
+     the clique's direct edge must catch it. *)
+  let kr = Lazy.force keyring in
+  let members = List.init 6 (fun i -> asn (500 + i)) in
+  let c1 = sign_commit [ "x" ] and c2 = sign_commit [ "y" ] in
+  let load g =
+    ignore (P.Gossip.receive g ~holder:(List.nth members 0) c1);
+    ignore (P.Gossip.receive g ~holder:(List.nth members 3) c2)
+  in
+  let ring = P.Gossip.create kr in
+  load ring;
+  let edges = P.Gossip.ring_edges members in
+  check_int "ring round 1 misses" 0
+    (List.length (P.Gossip.run_round ring ~edges));
+  check_bool "ring round 2 catches" true (P.Gossip.run_round ring ~edges <> []);
+  let clique = P.Gossip.create kr in
+  load clique;
+  check_bool "clique round 1 catches" true
+    (P.Gossip.run_round clique ~edges:(P.Gossip.clique_edges members) <> [])
+
+let gossip_round_dedups_evidence () =
+  (* One holder has the lying commitment, the other four the truthful one:
+     the same conflicting pair surfaces on every edge incident to the liar's
+     holder, but the round must report it exactly once. *)
+  let kr = Lazy.force keyring in
+  let members = List.init 5 (fun i -> asn (600 + i)) in
+  let c1 = sign_commit [ "x" ] and c2 = sign_commit [ "y" ] in
+  let g = P.Gossip.create kr in
+  ignore (P.Gossip.receive g ~holder:(List.hd members) c2);
+  List.iter
+    (fun m -> ignore (P.Gossip.receive g ~holder:m c1))
+    (List.tl members);
+  let evs = P.Gossip.run_round g ~edges:(P.Gossip.clique_edges members) in
+  check_int "reported once" 1 (List.length evs);
+  match evs with
+  | [ P.Evidence.Equivocation _ ] -> ()
+  | _ -> Alcotest.fail "expected a single equivocation"
+
 (* ---- S-BGP attestation chains ------------------------------------------------------ *)
 
 let sbgp_route len =
@@ -1547,6 +1683,14 @@ let suite =
     ("wire transport: export roundtrip", `Quick, wire_export_transport_roundtrip);
     wire_decode_rejects_garbage;
     ("wire transport: truncation rejected", `Quick, wire_decode_rejects_truncation);
+    wire_announce_roundtrip_property;
+    wire_commit_roundtrip_property;
+    wire_mutation_property;
+    evidence_equivocation_roundtrip_property;
+    evidence_mutation_property;
+    ("gossip ring one-round miss, clique catches", `Quick,
+     gossip_ring_one_round_miss_clique_catches);
+    ("gossip round dedups evidence", `Quick, gossip_round_dedups_evidence);
     ("sbgp: chains verify", `Quick, sbgp_chain_verifies);
     ("sbgp: extend", `Quick, sbgp_extend);
     ("sbgp: path shortening rejected", `Quick, sbgp_path_shortening_rejected);
