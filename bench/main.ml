@@ -10,6 +10,7 @@
      E6  §3.1          strawman comparison: PVR vs GMW-SMC vs generic ZKP
      E7  §2.3/§1       confidentiality: leakage + Gao-inference attack
      E8  §2.3          detection/evidence/accuracy fault-injection matrix
+     E10 §2.3          the same properties over a lossy simulated network
 
    Bechamel (OLS over monotonic clock) measures the headline operation of
    each experiment; the parameter sweeps use a simple repeat-timer since
@@ -643,6 +644,68 @@ let e9 () =
       ("false_positives", J.Int (List.length detected));
     ]
 
+(* ---- E10: faulty-network rounds -------------------------------------------------- *)
+
+let e10 () =
+  header "E10  faulty-network rounds (Pvr_net fault injection + ARQ)";
+  let profiles =
+    [
+      ("perfect", P.Runner.perfect_faults);
+      ( "drop15",
+        {
+          P.Runner.perfect_faults with
+          P.Runner.fp_policy = Pvr_net.faulty ~drop:0.15 ();
+        } );
+      ( "chaos",
+        {
+          P.Runner.perfect_faults with
+          P.Runner.fp_policy =
+            Pvr_net.faulty ~drop:0.25 ~duplicate:0.10 ~delay_max:3
+              ~reorder:true ();
+        } );
+    ]
+  in
+  Printf.printf "%-8s  %-18s  %8s  %9s  %8s  %7s  %8s\n" "faults" "behaviour"
+    "detected" "convicted" "required" "retries" "timeouts";
+  let routes = routes_for 4 in
+  let rows =
+    List.concat_map
+      (fun (label, faults) ->
+        List.map
+          (fun beh ->
+            let rng = C.Drbg.of_int_seed 1000 in
+            let nr =
+              P.Runner.min_round_faulty ~faults beh rng keyring ~prover:a_as
+                ~beneficiary:b_as ~epoch:1 ~prefix:prefix0 ~routes
+            in
+            let r = nr.P.Runner.base in
+            let required =
+              beh <> P.Adversary.Honest
+              && P.Runner.detection_expected beh ~beneficiary:b_as ~routes nr
+            in
+            Printf.printf "%-8s  %-18s  %8b  %9b  %8b  %7d  %8d\n%!" label
+              (P.Adversary.to_string beh)
+              r.P.Runner.detected r.P.Runner.convicted required
+              nr.P.Runner.net_retries nr.P.Runner.net_timeouts;
+            J.Obj
+              [
+                ("faults", J.String label);
+                ("behaviour", J.String (P.Adversary.to_string beh));
+                ("detected", J.Bool r.P.Runner.detected);
+                ("convicted", J.Bool r.P.Runner.convicted);
+                ("required", J.Bool required);
+                ("messages", J.Int r.P.Runner.messages);
+                ("net_retries", J.Int nr.P.Runner.net_retries);
+                ("net_timeouts", J.Int nr.P.Runner.net_timeouts);
+                ("net_drops", J.Int nr.P.Runner.net_drops);
+                ("gossip_drops", J.Int nr.P.Runner.gossip_drops);
+                ("ticks", J.Int nr.P.Runner.ticks);
+              ])
+          P.Adversary.all)
+      profiles
+  in
+  J.Obj [ ("rows", J.List rows) ]
+
 (* ---- Bechamel: one Test.make per experiment ------------------------------------- *)
 
 let bechamel_tests () =
@@ -757,6 +820,7 @@ let () =
       ("e7_leakage", e7);
       ("e8_fault_matrix", e8);
       ("e9_online_throughput", e9);
+      ("e10_faulty_network", e10);
       ("bechamel", run_bechamel);
     ]
   in

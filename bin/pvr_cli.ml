@@ -84,6 +84,104 @@ let run_round behaviour k bits seed dump_evidence stats =
   if behaviour = P.Adversary.Honest && r.P.Runner.detected then failed := true);
   if !failed then exit 1
 
+(* ---- soak ------------------------------------------------------------------- *)
+
+(* Adversarial soak under an unreliable network: every behaviour, [rounds]
+   times, over fault-injected links.  Asserts the §2.3 properties the whole
+   way: Honest is never convicted (Accuracy), and any Byzantine behaviour
+   whose witnessing messages were delivered is detected and convicted
+   (Detection/Evidence).  All randomness derives from --seed, so the output
+   is byte-identical across runs with the same arguments. *)
+let run_soak seed rounds k bits drop duplicate delay reorder budget stats =
+  let failed = ref false in
+  with_stats stats (fun () ->
+      let master = C.Drbg.of_int_seed seed in
+      let a = asn 1 and b = asn 100 in
+      let providers = List.init k (fun i -> asn (10 + i)) in
+      Printf.printf
+        "soak: seed=%d rounds=%d k=%d drop=%.2f duplicate=%.2f delay=%d \
+         reorder=%b budget=%d\n%!"
+        seed rounds k drop duplicate delay reorder budget;
+      let keyring =
+        P.Keyring.create ~bits (C.Drbg.split master "keys") (a :: b :: providers)
+      in
+      let policy =
+        Pvr_net.faulty ~drop ~duplicate ~delay_max:delay ~reorder ()
+      in
+      let faults =
+        {
+          P.Runner.perfect_faults with
+          fp_policy = policy;
+          fp_retry_budget = budget;
+        }
+      in
+      let max_path_len = 8 in
+      let prefix = G.Prefix.of_string "203.0.113.0/24" in
+      let violations = ref 0 in
+      let required = ref 0 in
+      let retries = ref 0 and timeouts = ref 0 and drops = ref 0 in
+      for i = 1 to rounds do
+        let round_rng = C.Drbg.split master (Printf.sprintf "round-%d" i) in
+        let routes =
+          List.map
+            (fun n ->
+              let len = 1 + C.Drbg.uniform_int round_rng max_path_len in
+              let path =
+                List.init len (fun j ->
+                    if j = 0 then n else asn (8000 + (100 * i) + j))
+              in
+              let base = G.Route.originate ~asn:n prefix in
+              (n, { base with G.Route.as_path = path; next_hop = n }))
+            providers
+        in
+        List.iter
+          (fun beh ->
+            let rng =
+              C.Drbg.split master
+                (Printf.sprintf "round-%d.%s" i (P.Adversary.to_string beh))
+            in
+            let nr =
+              P.Runner.min_round_faulty ~max_path_len ~faults beh rng keyring
+                ~prover:a ~beneficiary:b ~epoch:i ~prefix ~routes
+            in
+            let r = nr.P.Runner.base in
+            let must =
+              beh <> P.Adversary.Honest
+              && P.Runner.detection_expected beh ~beneficiary:b ~routes nr
+            in
+            if must then incr required;
+            retries := !retries + nr.P.Runner.net_retries;
+            timeouts := !timeouts + nr.P.Runner.net_timeouts;
+            drops := !drops + nr.P.Runner.net_drops + nr.P.Runner.gossip_drops;
+            let bad_accuracy =
+              beh = P.Adversary.Honest && r.P.Runner.convicted
+            in
+            let bad_detection =
+              must && not (r.P.Runner.detected && r.P.Runner.convicted)
+            in
+            if bad_accuracy || bad_detection then begin
+              incr violations;
+              Printf.printf "VIOLATION round=%d behaviour=%s accuracy=%b \
+                             detection=%b\n"
+                i (P.Adversary.to_string beh) bad_accuracy bad_detection
+            end;
+            Printf.printf
+              "round=%-3d behaviour=%-18s detected=%-5b convicted=%-5b \
+               required=%-5b retries=%d timeouts=%d drops=%d\n"
+              i (P.Adversary.to_string beh) r.P.Runner.detected
+              r.P.Runner.convicted must nr.P.Runner.net_retries
+              nr.P.Runner.net_timeouts
+              (nr.P.Runner.net_drops + nr.P.Runner.gossip_drops))
+          P.Adversary.all
+      done;
+      Printf.printf
+        "soak summary: runs=%d required_detections=%d retries=%d timeouts=%d \
+         drops=%d violations=%d\n"
+        (rounds * List.length P.Adversary.all)
+        !required !retries !timeouts !drops !violations;
+      if !violations > 0 then failed := true);
+  if !failed then exit 1
+
 (* ---- check ----------------------------------------------------------------- *)
 
 let run_check file =
@@ -199,6 +297,43 @@ let round_cmd =
     (Cmd.info "round" ~doc:"Run one Figure-1 verification round")
     Term.(const run_round $ behaviour $ k $ bits $ seed $ dump $ stats_arg)
 
+let soak_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master DRBG seed; the whole soak (keys, routes, fault schedules) and its output are a deterministic function of it.") in
+  let rounds =
+    Arg.(value & opt int 10 & info [ "rounds" ] ~doc:"Rounds per behaviour.")
+  in
+  let k =
+    Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of providers.")
+  in
+  let bits =
+    Arg.(value & opt int 512 & info [ "bits" ] ~doc:"RSA modulus size.")
+  in
+  let drop =
+    Arg.(value & opt float 0.15 & info [ "drop" ] ~doc:"Per-message drop probability.")
+  in
+  let duplicate =
+    Arg.(value & opt float 0.05 & info [ "duplicate" ] ~doc:"Per-message duplication probability.")
+  in
+  let delay =
+    Arg.(value & opt int 2 & info [ "delay" ] ~doc:"Maximum extra delivery delay in ticks.")
+  in
+  let reorder =
+    Arg.(value & flag & info [ "reorder" ] ~doc:"Shuffle same-tick deliveries.")
+  in
+  let budget =
+    Arg.(value & opt int 3 & info [ "budget" ] ~doc:"ARQ retransmissions / disclosure re-requests before a timeout accusation.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Adversarial soak over a fault-injected network: asserts Accuracy \
+          (honest never convicted) and Detection (Byzantine behaviours \
+          convicted whenever their witnessing messages were delivered); \
+          exits non-zero on any violation.")
+    Term.(
+      const run_soak $ seed $ rounds $ k $ bits $ drop $ duplicate $ delay
+      $ reorder $ budget $ stats_arg)
+
 let check_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
@@ -232,4 +367,7 @@ let () =
     Cmd.info "pvr" ~version:"1.0.0"
       ~doc:"Private and verifiable interdomain routing (HotNets-X 2011)"
   in
-  exit (Cmd.eval (Cmd.group info [ round_cmd; check_cmd; topology_cmd; primitives_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ round_cmd; soak_cmd; check_cmd; topology_cmd; primitives_cmd ]))

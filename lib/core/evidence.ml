@@ -58,6 +58,7 @@ type t =
       bit_index : int;
       opening : C.Commitment.opening;
     }
+  | Timeout of { claim : t; retries : int }
 
 and graph_component = { gc_raw : string; gc_opening : C.Commitment.opening }
 
@@ -84,8 +85,9 @@ and graph_offence =
       export : Wire.export Wire.signed;
     }
 
-let accused = function
+let rec accused = function
   | Equivocation { first; _ } -> first.Wire.signer
+  | Timeout { claim; _ } -> accused claim
   | False_bit { commit; _ }
   | Non_monotonic_bits { commit; _ }
   | Nonminimal_export { commit; _ }
@@ -98,9 +100,12 @@ let accused = function
       commit.Wire.signer
   | Bad_provenance { export } -> export.Wire.signer
 
-let describe t =
+let rec describe t =
   let who = Bgp.Asn.to_string (accused t) in
   match t with
+  | Timeout { claim; retries } ->
+      Printf.sprintf "%s (%s stonewalled %d retries)" (describe claim) who
+        retries
   | Equivocation _ -> who ^ " equivocated about its commitments"
   | False_bit { index; _ } ->
       Printf.sprintf "%s committed bit b_%d = 0 despite a witness route" who

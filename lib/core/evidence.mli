@@ -87,6 +87,18 @@ type t =
       opening : C.Commitment.opening;
           (** opens inconsistently with the exported route's length *)
     }
+  | Timeout of {
+      claim : t;
+          (** the omission claim the silence substantiates — a [*_claim]
+              constructor, never a nested [Timeout] *)
+      retries : int;  (** re-requests sent past the first, all unanswered *)
+    }
+      (** Raised by the {!Pvr_net} transport path when a party stonewalls
+          past the bounded-retry budget: the claimant re-requested the
+          item [retries] times and never heard back.  Subsumes the ad-hoc
+          "refused disclosure" path — over a real (lossy) network, refusal
+          and loss are indistinguishable, so both surface as a timeout and
+          the {!Judge} settles which it was by challenging the accused. *)
 
 (** An opened I(x) component, as in {!Proto_graph}. *)
 and graph_component = { gc_raw : string; gc_opening : C.Commitment.opening }

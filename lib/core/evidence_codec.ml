@@ -152,8 +152,10 @@ let dec_offence s =
 
 (* ---- top level ------------------------------------------------------------- *)
 
-let encode (e : Evidence.t) =
+let rec encode (e : Evidence.t) =
   match e with
+  | Evidence.Timeout { claim; retries } ->
+      enc_list [ "timeout"; enc_int retries; encode claim ]
   | Evidence.Equivocation { first; second } ->
       enc_list [ "equivocation"; enc_signed_commit first; enc_signed_commit second ]
   | Evidence.False_bit { commit; index; opening; witness } ->
@@ -219,9 +221,17 @@ let encode (e : Evidence.t) =
           enc_int bit_index; enc_opening opening;
         ]
 
-let decode s =
+let rec decode s =
   let* parts = dec_list s in
   match parts with
+  | [ "timeout"; retries; claim ] ->
+      let* retries = dec_int retries in
+      let* claim = decode claim in
+      (* Nesting is meaningless (a timeout of a timeout) and would let a
+         hostile encoder stack arbitrarily deep recursion; reject it. *)
+      (match claim with
+      | Evidence.Timeout _ -> None
+      | _ -> Some (Evidence.Timeout { claim; retries }))
   | [ "equivocation"; first; second ] ->
       let* first = dec_signed_commit first in
       let* second = dec_signed_commit second in

@@ -77,20 +77,51 @@ let evidence_key = function
       Some (if a <= b then a ^ b else b ^ a)
   | _ -> None
 
-let run_round t ~edges =
+type digest = Wire.commit Wire.signed list
+
+let digest_of_map m = List.map snd (Slot_map.bindings m)
+
+let run_round ?net t ~edges =
   (* Synchronous round: every edge transmits the views the holders had when
      the round started.  Gossip therefore spreads one hop per round — on a
      ring, an equivocation towards two holders more than two hops apart
      survives the first round (the E8 ablation), while a clique always has
      the direct edge.  Conflicts are still checked against each holder's
      live view, so a holder told two different things within one round does
-     detect it. *)
+     detect it.
+
+     Digests travel as wire messages over a {!Pvr_net} channel; the default
+     channel is a perfect (draw-free) network, under which the delivery
+     order equals the send order and this reduces exactly to the former
+     sequential edge walk. *)
+  let net =
+    match net with
+    | Some n -> n
+    | None -> Pvr_net.create ~rng:(Pvr_crypto.Drbg.of_int_seed 0) ()
+  in
   let start = t.held in
   let view_of holder =
     Option.value (Bgp.Asn.Map.find_opt holder start) ~default:Slot_map.empty
   in
+  List.iter
+    (fun (x, y) ->
+      Pvr_obs.incr obs_exchanges;
+      (* Matches [exchange_via] ordering: x absorbs y's view first. *)
+      Pvr_net.send net ~src:y ~dst:x (digest_of_map (view_of y));
+      Pvr_net.send net ~src:x ~dst:y (digest_of_map (view_of x)))
+    edges;
+  let evidence = ref [] in
+  let handler ~src:_ ~dst digest =
+    List.iter
+      (fun commit ->
+        match receive t ~holder:dst commit with
+        | Some e -> evidence := e :: !evidence
+        | None -> ())
+      digest
+  in
+  let (_ticks : int) = Pvr_net.run net ~handler () in
   let seen = Hashtbl.create 8 in
-  List.concat_map (fun (x, y) -> exchange_via t ~view_of x y) edges
+  List.rev !evidence
   |> List.filter (fun e ->
          match evidence_key e with
          | None -> true

@@ -23,14 +23,27 @@ val exchange : t -> Pvr_bgp.Asn.t -> Pvr_bgp.Asn.t -> Evidence.t list
 (** One gossip edge: the two parties compare everything they hold and both
     learn the union.  Returns any equivocation uncovered. *)
 
+type digest = Wire.commit Wire.signed list
+(** What one gossip edge transmits: every commitment the sender holds. *)
+
 val run_round :
-  t -> edges:(Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list -> Evidence.t list
+  ?net:digest Pvr_net.t ->
+  t ->
+  edges:(Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list ->
+  Evidence.t list
 (** One synchronous gossip round: every edge exchanges the views its two
     endpoints held when the round {e started}, so information travels one
     hop per round (an equivocation split across distant ring members needs
     several rounds to surface, which is what E8 ablates).  The returned
     evidence is deduplicated: a conflicting commitment pair is reported
-    once per round no matter how many holders observed it. *)
+    once per round no matter how many holders observed it.
+
+    Digests are sent through [net] (default: a fresh perfect channel, under
+    which this behaves exactly like a sequential edge walk).  A faulty
+    [net] may drop, duplicate, delay, or reorder digests; equivocation
+    detection is invariant under duplication and reordering because
+    {!receive} is idempotent and conflicts are checked against live
+    views. *)
 
 val clique_edges : Pvr_bgp.Asn.t list -> (Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list
 val ring_edges : Pvr_bgp.Asn.t list -> (Pvr_bgp.Asn.t * Pvr_bgp.Asn.t) list

@@ -88,9 +88,65 @@ let noshorter_context keyring (commit : Wire.commit Wire.signed)
               Bgp.Route.path_length my_export.Wire.payload.Wire.exp_route ))
           (block 0 order)
 
-let evaluate keyring ~respond evidence =
+let rec evaluate keyring ~respond evidence =
   let accused = Evidence.accused evidence in
   match evidence with
+  | Evidence.Timeout { claim; retries } -> begin
+      (* A timeout is only credible if the claimant actually retried, and
+         it must wrap a real omission claim (anything self-contained needs
+         no timeout to prove, and nesting timeouts proves nothing). *)
+      match claim with
+      | _ when retries < 1 -> Rejected
+      | Evidence.Timeout _ -> Rejected
+      | Evidence.Missing_export_claim { commit; openings = []; claimant } ->
+          (* Total silence: the claimant never even received the opening
+             set, so it cannot show a bit = 1.  The judge first asks for
+             the export; an accused with nothing to export may instead
+             open its top bit to 0, which (bits are monotone) proves no
+             admissible input existed and nothing was owed. *)
+          if not (commit_valid keyring commit) then Rejected
+          else begin
+            let cp = commit.Wire.payload in
+            let exonerated_by_export =
+              match
+                respond ~accused
+                  (Produce_export
+                     {
+                       epoch = cp.Wire.cmt_epoch;
+                       prefix = cp.Wire.cmt_prefix;
+                       beneficiary = claimant;
+                     })
+              with
+              | Export_response export ->
+                  Result.is_ok
+                    (Proto_common.check_export_provenance keyring ~commit
+                       ~beneficiary:claimant export)
+              | No_response | Opening_response _ -> false
+            in
+            if exonerated_by_export then Exonerated
+            else begin
+              let k = List.length cp.Wire.cmt_commitments in
+              match
+                respond ~accused
+                  (Produce_opening
+                     {
+                       epoch = cp.Wire.cmt_epoch;
+                       prefix = cp.Wire.cmt_prefix;
+                       scheme = cp.Wire.cmt_scheme;
+                       index = k;
+                     })
+              with
+              | Opening_response o when bit_at commit ~index:k o = Some false
+                ->
+                  Exonerated
+              | _ -> Guilty
+            end
+          end
+      | (Evidence.Missing_export_claim _ | Evidence.Missing_disclosure_claim _)
+        as claim ->
+          evaluate keyring ~respond claim
+      | _ -> Rejected
+    end
   | Evidence.Equivocation { first; second } ->
       verdict_of_bool
         (commit_valid keyring first

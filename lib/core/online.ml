@@ -11,13 +11,19 @@ type t = {
   providers : Bgp.Asn.t list;
   max_path_len : int;
   gossip : [ `Clique | `Ring | `None ];
+  net_policy : Pvr_net.policy;
+  net_rng : C.Drbg.t;
   mutable epoch : Wire.epoch;
 }
 
 let create ?(max_path_len = Proto_min.default_max_path_len)
-    ?(gossip = `Clique) rng keyring ~sim ~prover ~beneficiary ~providers =
+    ?(gossip = `Clique) ?(net_policy = Pvr_net.perfect) rng keyring ~sim
+    ~prover ~beneficiary ~providers =
+  (* The net generator is split off at creation, before any epoch draws,
+     so fault schedules never perturb the commitment nonce stream. *)
+  let net_rng = C.Drbg.split rng "online-net" in
   { rng; keyring; sim; prover; beneficiary; providers; max_path_len; gossip;
-    epoch = 0 }
+    net_policy; net_rng; epoch = 0 }
 
 let current_epoch t = t.epoch
 
@@ -77,12 +83,26 @@ let epoch t ~prefix =
   let participants = List.map fst announces @ [ t.beneficiary ] in
   let g = Gossip.create t.keyring in
   let raised = ref [] in
+  (* Commitment delivery and gossip both ride the instance's net channel;
+     under a faulty [net_policy] a holder may simply never learn the
+     commitment and then skips its checks. *)
+  let net = Pvr_net.create ~policy:t.net_policy ~rng:t.net_rng () in
   List.iter
     (fun who ->
-      match Gossip.receive g ~holder:who (honest.Adversary.commit_for who) with
-      | Some e -> raised := (Adversary.Gossip, e) :: !raised
-      | None -> ())
+      Pvr_net.send net ~src:t.prover ~dst:who
+        [ honest.Adversary.commit_for who ])
     participants;
+  let (_ : int) =
+    Pvr_net.run net
+      ~handler:(fun ~src:_ ~dst digest ->
+        List.iter
+          (fun c ->
+            match Gossip.receive g ~holder:dst c with
+            | Some e -> raised := (Adversary.Gossip, e) :: !raised
+            | None -> ())
+          digest)
+      ()
+  in
   let edges =
     match t.gossip with
     | `Clique -> Gossip.clique_edges participants
@@ -91,7 +111,7 @@ let epoch t ~prefix =
   in
   List.iter
     (fun e -> raised := (Adversary.Gossip, e) :: !raised)
-    (Gossip.run_round g ~edges);
+    (Gossip.run_round ~net g ~edges);
   List.iter
     (fun (provider, ann) ->
       match

@@ -21,6 +21,7 @@ type t
 val create :
   ?max_path_len:int ->
   ?gossip:[ `Clique | `Ring | `None ] ->
+  ?net_policy:Pvr_net.policy ->
   Pvr_crypto.Drbg.t ->
   Keyring.t ->
   sim:Bgp.Simulator.t ->
@@ -29,7 +30,11 @@ val create :
   providers:Bgp.Asn.t list ->
   t
 (** Watch [prover]'s promise of shortest-path export (from [providers]) to
-    [beneficiary].  All parties must be in the keyring. *)
+    [beneficiary].  All parties must be in the keyring.  Commitment
+    delivery and gossip digests travel through a {!Pvr_net} channel under
+    [net_policy] (default: perfect); its fault schedule is derived from
+    the given generator at creation time, independently of the nonce
+    stream. *)
 
 val epoch : t -> prefix:Bgp.Prefix.t -> Runner.report
 (** Run one verification round against the simulator's current state for

@@ -43,84 +43,359 @@ let finish keyring ~respond raised ~tally =
     commit_bytes = Obs.Tally.get tally k_commit_bytes;
   }
 
-let min_round ?(gossip = `Clique) ?max_path_len behaviour rng keyring ~prover
-    ~beneficiary ~epoch ~prefix ~routes =
+(* ---- The simulated transport ---------------------------------------------
+
+   Every §3.3 wire message of a round travels as a [net_msg] through a
+   {!Pvr_net.Reliable} stop-and-wait channel; gossip digests travel over a
+   separate (unacknowledged) channel.  With [perfect_faults] this engine is
+   behaviourally identical to the former direct-call round; under a faulty
+   profile messages may be lost past the retry budget, in which case the
+   waiting party raises {!Evidence.Timeout} around the omission claim it
+   would otherwise have proven directly. *)
+
+type net_msg =
+  | Net_announce of Wire.announce Wire.signed
+  | Net_commit of Wire.commit Wire.signed
+  | Net_neighbor_disclosure of Proto_common.neighbor_disclosure
+  | Net_beneficiary_disclosure of Proto_common.beneficiary_disclosure
+  | Net_disclosure_request
+
+type fault_profile = {
+  fp_policy : Pvr_net.policy;
+  fp_links : ((Bgp.Asn.t * Bgp.Asn.t) * Pvr_net.policy) list;
+  fp_retry_interval : int;
+  fp_retry_budget : int;
+  fp_gossip_rounds : int;
+  fp_max_ticks : int;
+}
+
+let perfect_faults =
+  {
+    fp_policy = Pvr_net.perfect;
+    fp_links = [];
+    fp_retry_interval = 2;
+    fp_retry_budget = 3;
+    fp_gossip_rounds = 1;
+    fp_max_ticks = 400;
+  }
+
+type net_report = {
+  base : report;
+  delivered_announces : Bgp.Asn.t list;
+  acked_announces : Bgp.Asn.t list;
+  commit_holders : Bgp.Asn.t list;
+  direct_commits : Bgp.Asn.t list;
+  disclosed_to : Bgp.Asn.t list;
+  beneficiary_disclosed : bool;
+  net_sends : int;
+  net_drops : int;
+  net_retries : int;
+  net_timeouts : int;
+  gossip_sends : int;
+  gossip_drops : int;
+  ticks : int;
+}
+
+let min_round_faulty ?(gossip = `Clique) ?max_path_len
+    ?(faults = perfect_faults) behaviour rng keyring ~prover ~beneficiary
+    ~epoch ~prefix ~routes =
   Obs.with_span "runner.min_round" @@ fun () ->
   let tally = Obs.Tally.create () in
+  (* Derive the transport generators before the adversary consumes [rng],
+     so a seed's fault schedule is independent of behaviour-specific
+     draws. *)
+  let net_rng = C.Drbg.split rng "net" in
+  let gossip_rng = C.Drbg.split rng "gossip-net" in
+  let net =
+    Pvr_net.create ~policy:faults.fp_policy ~links:faults.fp_links
+      ~rng:net_rng ()
+  in
+  let conn =
+    Pvr_net.Reliable.create ~interval:faults.fp_retry_interval
+      ~budget:faults.fp_retry_budget net
+  in
+  let gnet =
+    Pvr_net.create ~policy:faults.fp_policy ~links:faults.fp_links
+      ~rng:gossip_rng ()
+  in
   let announces =
     List.map
       (fun (provider, route) ->
         (provider, announce_of_route keyring ~provider ~prover ~epoch route))
       routes
   in
-  let inputs = List.map snd announces in
+  let providers = List.map fst announces in
+  let participants = providers @ [ beneficiary ] in
+  let g = Gossip.create keyring in
+  let raised = ref [] in
+  (* Receiver state: first-wins, so duplicate deliveries are idempotent. *)
+  let arrived = ref [] in
+  let neighbor_got : (Bgp.Asn.t, Proto_common.neighbor_disclosure) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let direct_commit : (Bgp.Asn.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let bene_got = ref None in
+  let run_ref = ref None in
+  let handler ~src ~dst msg =
+    match msg with
+    | Net_announce ann when Bgp.Asn.equal dst prover ->
+        if
+          not
+            (List.exists
+               (fun (a : Wire.announce Wire.signed) ->
+                 Bgp.Asn.equal a.Wire.signer ann.Wire.signer)
+               !arrived)
+        then arrived := !arrived @ [ ann ]
+    | Net_commit commit -> begin
+        Hashtbl.replace direct_commit dst ();
+        match Gossip.receive g ~holder:dst commit with
+        | Some e -> raised := (Adversary.Gossip, e) :: !raised
+        | None -> ()
+      end
+    | Net_neighbor_disclosure nd when not (Bgp.Asn.equal dst prover) ->
+        if not (Hashtbl.mem neighbor_got dst) then
+          Hashtbl.replace neighbor_got dst nd
+    | Net_beneficiary_disclosure bd when Bgp.Asn.equal dst beneficiary ->
+        if !bene_got = None then bene_got := Some bd
+    | Net_disclosure_request when Bgp.Asn.equal dst prover -> begin
+        (* The prover answers re-requests according to its behaviour: a
+           withheld opening stays withheld (stonewalling), anything it was
+           willing to send it sends again. *)
+        match !run_ref with
+        | None -> ()
+        | Some run ->
+            if Bgp.Asn.equal src beneficiary then
+              Pvr_net.Reliable.send conn ~src:prover ~dst:beneficiary
+                (Net_beneficiary_disclosure
+                   run.Adversary.beneficiary_disclosure)
+            else begin
+              match
+                List.assoc_opt src run.Adversary.neighbor_disclosures
+              with
+              | Some (Some nd) ->
+                  Pvr_net.Reliable.send conn ~src:prover ~dst:src
+                    (Net_neighbor_disclosure nd)
+              | Some None | None -> ()
+            end
+      end
+    | _ -> ()
+  in
+  let quiesce () =
+    Pvr_net.Reliable.run ~max_ticks:faults.fp_max_ticks conn ~handler ()
+  in
+  (* Phase 1: providers announce their routes to A. *)
+  List.iter
+    (fun (provider, ann) ->
+      Pvr_net.Reliable.send conn ~src:provider ~dst:prover (Net_announce ann))
+    announces;
+  let (_ : int) = quiesce () in
+  let inputs = !arrived in
   let run =
     Adversary.run_min behaviour ?max_path_len rng keyring ~prover ~beneficiary
       ~epoch ~prefix ~inputs
   in
-  let providers = List.map fst announces in
-  let participants = providers @ [ beneficiary ] in
-  Obs.Tally.add tally k_messages (List.length announces);
-  (* Commitment broadcast + gossip. *)
-  let g = Gossip.create keyring in
-  let raised = ref [] in
+  run_ref := Some run;
+  (* Phase 2: A broadcasts its (per-recipient) commitment. *)
   List.iter
     (fun who ->
       let commit = run.Adversary.commit_for who in
-      Obs.Tally.incr tally k_messages;
       Obs.Tally.max_ tally k_commit_bytes
         (String.length (Wire.encode_commit commit.Wire.payload));
-      match Gossip.receive g ~holder:who commit with
-      | Some e -> raised := (Adversary.Gossip, e) :: !raised
-      | None -> ())
+      Pvr_net.Reliable.send conn ~src:prover ~dst:who (Net_commit commit))
     participants;
+  let (_ : int) = quiesce () in
+  (* Phase 3: gossip rounds over their own lossy channel. *)
   let edges =
     match gossip with
     | `Clique -> Gossip.clique_edges participants
     | `Ring -> Gossip.ring_edges participants
     | `None -> []
   in
-  Obs.Tally.add tally k_messages (List.length edges);
+  for _ = 1 to faults.fp_gossip_rounds do
+    List.iter
+      (fun e -> raised := (Adversary.Gossip, e) :: !raised)
+      (Gossip.run_round ~net:gnet g ~edges)
+  done;
+  (* Phase 4: A pushes disclosures to everyone it is willing to serve. *)
   List.iter
-    (fun e -> raised := (Adversary.Gossip, e) :: !raised)
-    (Gossip.run_round g ~edges);
-  (* Provider checks. *)
+    (fun (provider, nd) ->
+      match nd with
+      | Some nd ->
+          Pvr_net.Reliable.send conn ~src:prover ~dst:provider
+            (Net_neighbor_disclosure nd)
+      | None -> ())
+    run.Adversary.neighbor_disclosures;
+  Pvr_net.Reliable.send conn ~src:prover ~dst:beneficiary
+    (Net_beneficiary_disclosure run.Adversary.beneficiary_disclosure);
+  let (_ : int) = quiesce () in
+  (* Phase 5: parties still owed a disclosure chase it with bounded
+     re-requests before accusing. *)
+  let commit_view who =
+    Gossip.view g ~holder:who ~signer:prover ~epoch ~prefix
+      ~scheme:Proto_min.scheme
+  in
+  let announce_acked provider ann =
+    Pvr_net.Reliable.acked conn ~src:provider ~dst:prover (Net_announce ann)
+  in
+  let rec chase attempt =
+    if attempt > faults.fp_retry_budget then ()
+    else begin
+      let want_nd =
+        List.filter
+          (fun (p, ann) ->
+            commit_view p <> None
+            && announce_acked p ann
+            && not (Hashtbl.mem neighbor_got p))
+          announces
+      in
+      let want_bd = commit_view beneficiary <> None && !bene_got = None in
+      if want_nd = [] && not want_bd then ()
+      else begin
+        List.iter
+          (fun (p, _) ->
+            Pvr_net.Reliable.send conn ~src:p ~dst:prover
+              Net_disclosure_request)
+          want_nd;
+        if want_bd then
+          Pvr_net.Reliable.send conn ~src:beneficiary ~dst:prover
+            Net_disclosure_request;
+        let (_ : int) = quiesce () in
+        chase (attempt + 1)
+      end
+    end
+  in
+  chase 1;
+  (* Provider checks.  A provider only accuses over silence when its own
+     announce was acknowledged — otherwise, for all it knows, A never
+     received the route and owes it nothing (Accuracy). *)
   List.iter
     (fun (provider, ann) ->
-      match
-        Gossip.view g ~holder:provider ~signer:prover ~epoch ~prefix
-          ~scheme:Proto_min.scheme
-      with
+      match commit_view provider with
       | None -> () (* no commitment at all: nothing to check against *)
-      | Some commit ->
-          let disclosure =
-            Option.join (List.assoc_opt provider run.Adversary.neighbor_disclosures)
-          in
-          if disclosure <> None then Obs.Tally.incr tally k_messages;
-          let evs =
-            Proto_min.check_neighbor keyring ~me:provider ~my_announce:ann
-              ~commit ~disclosure
-          in
-          List.iter
-            (fun e -> raised := (Adversary.Provider provider, e) :: !raised)
-            evs)
+      | Some commit -> begin
+          match Hashtbl.find_opt neighbor_got provider with
+          | Some nd ->
+              let evs =
+                Proto_min.check_neighbor keyring ~me:provider ~my_announce:ann
+                  ~commit ~disclosure:(Some nd)
+              in
+              List.iter
+                (fun e -> raised := (Adversary.Provider provider, e) :: !raised)
+                evs
+          | None ->
+              if announce_acked provider ann then
+                raised :=
+                  ( Adversary.Provider provider,
+                    Evidence.Timeout
+                      {
+                        claim =
+                          Evidence.Missing_disclosure_claim
+                            { commit; announce = ann; claimant = provider };
+                        retries = faults.fp_retry_budget;
+                      } )
+                  :: !raised
+        end)
     announces;
   (* Beneficiary checks. *)
-  (match
-     Gossip.view g ~holder:beneficiary ~signer:prover ~epoch ~prefix
-       ~scheme:Proto_min.scheme
-   with
+  (match commit_view beneficiary with
   | None -> ()
-  | Some commit ->
-      Obs.Tally.incr tally k_messages;
-      let evs =
-        Proto_min.check_beneficiary keyring ~me:beneficiary ~commit
-          ~disclosure:run.Adversary.beneficiary_disclosure
-      in
-      List.iter
-        (fun e -> raised := (Adversary.Beneficiary, e) :: !raised)
-        evs);
-  finish keyring ~respond:run.Adversary.respond (List.rev !raised) ~tally
+  | Some commit -> begin
+      match !bene_got with
+      | Some bd ->
+          let evs =
+            Proto_min.check_beneficiary keyring ~me:beneficiary ~commit
+              ~disclosure:bd
+          in
+          List.iter
+            (fun e -> raised := (Adversary.Beneficiary, e) :: !raised)
+            evs
+      | None ->
+          (* Total silence: B holds a commitment but never received the
+             opening set.  The judge settles whether anything was owed. *)
+          raised :=
+            ( Adversary.Beneficiary,
+              Evidence.Timeout
+                {
+                  claim =
+                    Evidence.Missing_export_claim
+                      { commit; openings = []; claimant = beneficiary };
+                  retries = faults.fp_retry_budget;
+                } )
+            :: !raised
+    end);
+  (* [messages] counts protocol payload transmissions, including
+     retransmissions: every reliable data frame plus every gossip digest. *)
+  Obs.Tally.add tally k_messages
+    (Pvr_net.Reliable.data_sends conn + (Pvr_net.stats gnet).Pvr_net.sends);
+  let base =
+    finish keyring ~respond:run.Adversary.respond (List.rev !raised) ~tally
+  in
+  let st = Pvr_net.stats net and gst = Pvr_net.stats gnet in
+  {
+    base;
+    delivered_announces =
+      List.map (fun (a : Wire.announce Wire.signed) -> a.Wire.signer) inputs;
+    acked_announces =
+      List.filter_map
+        (fun (p, ann) -> if announce_acked p ann then Some p else None)
+        announces;
+    commit_holders = List.filter (fun who -> commit_view who <> None) participants;
+    direct_commits = List.filter (Hashtbl.mem direct_commit) participants;
+    disclosed_to = List.filter (Hashtbl.mem neighbor_got) providers;
+    beneficiary_disclosed = !bene_got <> None;
+    net_sends = st.Pvr_net.sends;
+    net_drops = st.Pvr_net.drops + st.Pvr_net.partition_drops;
+    net_retries = Pvr_net.Reliable.retries conn;
+    net_timeouts = Pvr_net.Reliable.failures conn;
+    gossip_sends = gst.Pvr_net.sends;
+    gossip_drops = gst.Pvr_net.drops + gst.Pvr_net.partition_drops;
+    ticks = Pvr_net.now net + Pvr_net.now gnet;
+  }
+
+let min_round ?gossip ?max_path_len behaviour rng keyring ~prover ~beneficiary
+    ~epoch ~prefix ~routes =
+  (min_round_faulty ?gossip ?max_path_len ~faults:perfect_faults behaviour rng
+     keyring ~prover ~beneficiary ~epoch ~prefix ~routes)
+    .base
+
+(* Whether the fault schedule left the behaviour's witnessing messages
+   intact, i.e. whether §2.3 Detection must have fired this round.  Each
+   detector listed by {!Adversary.expected_detectors} (computed over the
+   inputs that actually reached A) is checked against what it needed to
+   see: its commitment, its disclosure, an acknowledged announce, or an
+   unbroken gossip exchange. *)
+let detection_expected behaviour ~beneficiary ~routes (r : net_report) =
+  let mem who = List.exists (Bgp.Asn.equal who) in
+  let inputs =
+    List.filter_map
+      (fun p ->
+        Option.map
+          (fun route -> (p, Bgp.Route.path_length route))
+          (List.assoc_opt p routes))
+      r.delivered_announces
+  in
+  let dets = Adversary.expected_detectors behaviour ~inputs in
+  let witnessed = function
+    | Adversary.Beneficiary ->
+        mem beneficiary r.commit_holders
+        && (behaviour = Adversary.Suppress_export
+            (* total silence convicts the stonewaller just as well *)
+           || r.beneficiary_disclosed)
+    | Adversary.Provider p ->
+        mem p r.commit_holders
+        &&
+        if behaviour = Adversary.Refuse_disclosure then
+          mem p r.acked_announces
+        else mem p r.disclosed_to
+    | Adversary.Gossip ->
+        (* Sufficient for a clique round: both halves of the split hold
+           their commitment directly and no digest was lost, so the direct
+           edge between them must surface the conflict. *)
+        r.gossip_drops = 0
+        && mem beneficiary r.direct_commits
+        && List.exists (fun (p, _) -> mem p r.direct_commits) inputs
+  in
+  List.exists witnessed dets
 
 let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
     ~promise ~routes =
@@ -150,17 +425,27 @@ let graph_round ?max_path_len rng keyring ~prover ~beneficiary ~epoch ~prefix
   Obs.Tally.max_ tally k_commit_bytes
     (String.length (Wire.encode_commit commit.Wire.payload));
   let raised = ref [] in
-  (* Gossip of the single root commitment. *)
+  (* Broadcast + gossip of the single root commitment, over a perfect
+     channel (graph rounds are not fault-injected yet). *)
   let g = Gossip.create keyring in
+  let cnet = Pvr_net.create ~rng:(C.Drbg.of_int_seed 0) () in
   List.iter
-    (fun who ->
-      match Gossip.receive g ~holder:who commit with
-      | Some e -> raised := (Adversary.Gossip, e) :: !raised
-      | None -> ())
+    (fun who -> Pvr_net.send cnet ~src:prover ~dst:who [ commit ])
     (providers @ [ beneficiary ]);
+  let (_ : int) =
+    Pvr_net.run cnet
+      ~handler:(fun ~src:_ ~dst digest ->
+        List.iter
+          (fun c ->
+            match Gossip.receive g ~holder:dst c with
+            | Some e -> raised := (Adversary.Gossip, e) :: !raised
+            | None -> ())
+          digest)
+      ()
+  in
   List.iter
     (fun e -> raised := (Adversary.Gossip, e) :: !raised)
-    (Gossip.run_round g
+    (Gossip.run_round ~net:cnet g
        ~edges:(Gossip.clique_edges (providers @ [ beneficiary ])));
   (* Provider checks. *)
   List.iter

@@ -20,6 +20,67 @@ type report = {
   commit_bytes : int;  (** size of A's commitment message(s) *)
 }
 
+type fault_profile = {
+  fp_policy : Pvr_net.policy;  (** default policy for every link *)
+  fp_links : ((Bgp.Asn.t * Bgp.Asn.t) * Pvr_net.policy) list;
+      (** per-link overrides (unordered pairs) *)
+  fp_retry_interval : int;  (** ticks between ARQ retransmissions *)
+  fp_retry_budget : int;
+      (** retransmissions per message, and disclosure re-requests before a
+          party raises {!Evidence.Timeout} *)
+  fp_gossip_rounds : int;  (** synchronous gossip rounds to run *)
+  fp_max_ticks : int;  (** per-phase simulation budget *)
+}
+
+val perfect_faults : fault_profile
+(** Lossless, delay-free links; under this profile {!min_round_faulty} is
+    behaviourally identical to the former direct-call round. *)
+
+type net_report = {
+  base : report;
+  delivered_announces : Bgp.Asn.t list;
+      (** providers whose announce reached A (in delivery order) *)
+  acked_announces : Bgp.Asn.t list;
+      (** providers that {e know} A received their announce — only these
+          may accuse A of withholding a disclosure *)
+  commit_holders : Bgp.Asn.t list;
+      (** participants holding a commitment (directly or via gossip) *)
+  direct_commits : Bgp.Asn.t list;
+      (** participants that received their own commitment from A directly *)
+  disclosed_to : Bgp.Asn.t list;  (** providers that received their opening *)
+  beneficiary_disclosed : bool;
+  net_sends : int;  (** transport frames offered on the reliable channel *)
+  net_drops : int;  (** frames lost (loss + partition) on it *)
+  net_retries : int;  (** ARQ retransmissions performed *)
+  net_timeouts : int;  (** sends abandoned past the retry budget *)
+  gossip_sends : int;
+  gossip_drops : int;
+  ticks : int;  (** simulated ticks consumed across both channels *)
+}
+
+val min_round_faulty :
+  ?gossip:[ `Clique | `Ring | `None ] ->
+  ?max_path_len:int ->
+  ?faults:fault_profile ->
+  Adversary.behaviour ->
+  Pvr_crypto.Drbg.t ->
+  Keyring.t ->
+  prover:Bgp.Asn.t ->
+  beneficiary:Bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Bgp.Prefix.t ->
+  routes:(Bgp.Asn.t * Bgp.Route.t) list ->
+  net_report
+(** Run one §3.3 round with every wire message passed through a
+    deterministic simulated network ({!Pvr_net}) under [faults] (default
+    {!perfect_faults}).  Announces, commitments, and disclosures use a
+    stop-and-wait ARQ channel with [fp_retry_budget] retransmissions;
+    gossip digests use a separate best-effort channel.  A party still owed
+    a disclosure after [fp_retry_budget] explicit re-requests raises
+    {!Evidence.Timeout} around the omission claim.  Fault schedules are a
+    deterministic function of the seed behind [rng] (they draw from
+    children split off before any protocol draws). *)
+
 val min_round :
   ?gossip:[ `Clique | `Ring | `None ] ->
   ?max_path_len:int ->
@@ -34,7 +95,23 @@ val min_round :
   report
 (** Run one §3.3 round.  [routes] are the provider announcements (neighbor,
     route as it arrives at A).  Gossip topology defaults to the full
-    clique. *)
+    clique.  Equivalent to [min_round_faulty ~faults:perfect_faults]. *)
+
+val detection_expected :
+  Adversary.behaviour ->
+  beneficiary:Bgp.Asn.t ->
+  routes:(Bgp.Asn.t * Bgp.Route.t) list ->
+  net_report ->
+  bool
+(** Whether the round's fault schedule delivered the behaviour's witnessing
+    messages, i.e. whether §2.3 Detection must have fired: some expected
+    detector (over the inputs that actually reached A) held the
+    commitment and received what it needed — its disclosure, an
+    acknowledged announce (for the stonewalling victim), or an unbroken
+    clique gossip round (for equivocation).  Assumes clique gossip with at
+    least one round.  When this returns [true] on a [min_round_faulty]
+    report, the report must show [detected] and [convicted] for every
+    non-[Honest] behaviour; the soak harness asserts exactly that. *)
 
 val announce_of_route :
   Keyring.t ->

@@ -8,4 +8,5 @@ let () =
       ("pvr", Test_pvr.suite);
       ("smc", Test_smc.suite);
       ("obs", Test_obs.suite);
+      ("net", Test_net.suite);
     ]

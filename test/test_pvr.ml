@@ -595,7 +595,11 @@ let judge_convicts_each_selfcontained_kind () =
     | P.Evidence.Missing_export_claim _ -> true
     | _ -> false);
   expect_kind P.Adversary.Refuse_disclosure (function
-    | P.Evidence.Missing_disclosure_claim _ -> true
+    (* The refusal surfaces as a timeout around the omission claim: over
+       the network, withholding is indistinguishable from loss. *)
+    | P.Evidence.Timeout { claim = P.Evidence.Missing_disclosure_claim _; _ }
+      ->
+        true
     | _ -> false);
   expect_kind P.Adversary.Forge_provenance (function
     | P.Evidence.Bad_provenance _ -> true
