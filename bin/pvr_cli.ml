@@ -182,6 +182,71 @@ let run_soak seed rounds k bits drop duplicate delay reorder budget stats =
       if !violations > 0 then failed := true);
   if !failed then exit 1
 
+(* ---- engine ----------------------------------------------------------------- *)
+
+(* Continuous topology-wide verification: a hierarchy topology under churn,
+   every promising AS re-verified each epoch by the incremental engine.
+   Same determinism contract as soak — everything derives from --seed — plus
+   the engine's own: the digest is identical for any --jobs value and for
+   the cache on or off. *)
+let run_engine seed tiers peering epochs jobs bits cache salt_every turnover
+    origins prefixes_per_origin anycast drop stats =
+  let failed = ref false in
+  with_stats stats (fun () ->
+      let master = C.Drbg.of_int_seed seed in
+      let tiers = List.map int_of_string (String.split_on_char ',' tiers) in
+      let topo =
+        G.Topology.hierarchy
+          (C.Drbg.split master "topology")
+          ~tiers ~extra_peering:peering
+      in
+      let ases = G.Topology.ases topo in
+      Printf.printf
+        "engine: %d ASes, %d links; seed=%d epochs=%d jobs=%d cache=%b \
+         salt_every=%d turnover=%.2f\n%!"
+        (G.Topology.size topo)
+        (List.length (G.Topology.links topo))
+        seed epochs jobs cache salt_every turnover;
+      Printf.printf "Generating %d RSA-%d keys...\n%!" (List.length ases) bits;
+      let keyring = P.Keyring.create ~bits (C.Drbg.split master "keys") ases in
+      let sim = G.Simulator.create topo in
+      (* Churn origins: the highest-numbered (bottom-tier) ASes. *)
+      let origin_list =
+        let sorted = List.sort (fun a b -> G.Asn.compare b a) ases in
+        List.filteri (fun i _ -> i < origins) sorted |> List.rev
+      in
+      let churn =
+        G.Update_gen.Churn.create ~anycast ~origins:origin_list
+          ~prefixes_per_origin ()
+      in
+      let churn_rng = C.Drbg.split master "churn" in
+      let faults =
+        if drop > 0.0 then
+          Some
+            {
+              P.Runner.perfect_faults with
+              fp_policy = Pvr_net.faulty ~drop ();
+            }
+        else None
+      in
+      let eng =
+        Pvr_engine.Engine.create ~jobs ~cache ~salt_every ?faults
+          (C.Drbg.split master "engine")
+          keyring ~topology:topo ~sim ()
+      in
+      for i = 1 to epochs do
+        let apply sim =
+          if i = 1 then List.length (G.Update_gen.Churn.seed churn sim)
+          else
+            List.length (G.Update_gen.Churn.step churn_rng ~turnover churn sim)
+        in
+        let r = Pvr_engine.Engine.epoch ~apply eng in
+        print_endline (Pvr_engine.Engine.report_line r);
+        if r.Pvr_engine.Engine.ep_convicted > 0 then failed := true
+      done;
+      Printf.printf "engine digest: %s\n" (Pvr_engine.Engine.digest eng));
+  if !failed then exit 1
+
 (* ---- check ----------------------------------------------------------------- *)
 
 let run_check file =
@@ -334,6 +399,91 @@ let soak_cmd =
       const run_soak $ seed $ rounds $ k $ bits $ drop $ duplicate $ delay
       $ reorder $ budget $ stats_arg)
 
+let engine_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Master DRBG seed.  The whole run — topology, keys, churn, salts \
+             — and the final digest are a deterministic function of it, for \
+             any $(b,--jobs) value and cache setting.")
+  in
+  let tiers =
+    Arg.(value & opt string "1,2,4" & info [ "tiers" ] ~doc:"ASes per tier.")
+  in
+  let peering =
+    Arg.(
+      value & opt float 0.1
+      & info [ "peering" ] ~doc:"Same-tier peering probability.")
+  in
+  let epochs =
+    Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Verification epochs.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~doc:"Worker domains for verification rounds.")
+  in
+  let bits =
+    Arg.(value & opt int 512 & info [ "bits" ] ~doc:"RSA modulus size.")
+  in
+  let cache =
+    Arg.(
+      value & opt bool true
+      & info [ "cache" ]
+          ~doc:
+            "Incremental mode: skip clean vertices and memoize \
+             commitments/signatures within a salt period.  $(b,--cache \
+             false) recomputes everything every epoch (the E11 baseline).")
+  in
+  let salt_every =
+    Arg.(
+      value & opt int 8
+      & info [ "salt-every" ] ~doc:"Epochs per commitment-salt period.")
+  in
+  let turnover =
+    Arg.(
+      value & opt float 0.2
+      & info [ "turnover" ]
+          ~doc:"Fraction of churn slots flipped per epoch (0..1).")
+  in
+  let origins =
+    Arg.(
+      value & opt int 4 & info [ "origins" ] ~doc:"Churn origin ASes (bottom tier).")
+  in
+  let prefixes_per_origin =
+    Arg.(
+      value & opt int 2
+      & info [ "prefixes-per-origin" ] ~doc:"Churn prefixes per origin.")
+  in
+  let anycast =
+    Arg.(
+      value & opt int 1
+      & info [ "anycast" ]
+          ~doc:
+            "Churn prefixes announced by two origins each (partial route \
+             churn on live prefixes).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ]
+          ~doc:
+            "Per-message drop probability; non-zero routes every round \
+             through the fault-injected network.")
+  in
+  Cmd.v
+    (Cmd.info "engine"
+       ~doc:
+         "Continuously verify every promising AS of a churning topology \
+          with the incremental multi-domain engine; exits non-zero if any \
+          honest prover is convicted.")
+    Term.(
+      const run_engine $ seed $ tiers $ peering $ epochs $ jobs $ bits $ cache
+      $ salt_every $ turnover $ origins $ prefixes_per_origin $ anycast $ drop
+      $ stats_arg)
+
 let check_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
@@ -370,4 +520,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ round_cmd; soak_cmd; check_cmd; topology_cmd; primitives_cmd ]))
+          [
+            round_cmd;
+            soak_cmd;
+            engine_cmd;
+            check_cmd;
+            topology_cmd;
+            primitives_cmd;
+          ]))

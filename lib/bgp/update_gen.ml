@@ -44,6 +44,99 @@ let bursty rng ~duration_ms ~base_rate_per_s ~burst_every_ms ~burst_size_mean
   done;
   List.stable_sort (fun a b -> Int.compare a.at_ms b.at_ms) (List.rev !events)
 
+module Churn = struct
+  type slot = { origin : Asn.t; prefix : Prefix.t; mutable live : bool }
+  type t = { slots : slot array }
+
+  type change =
+    | Announce of Asn.t * Prefix.t
+    | Withdraw of Asn.t * Prefix.t
+
+  (* One deterministic prefix per (origin index, prefix index): a /24 inside
+     10.0.0.0/8, so churn prefixes never collide with experiment-chosen
+     prefixes like the quickstart's 8.8.8.0/24. *)
+  let slot_prefix i j =
+    Prefix.make ~addr:((10 lsl 24) lor ((i + 1) lsl 16) lor (j lsl 8)) ~len:24
+
+  (* Anycast prefixes live in a sibling /16 range so they never collide
+     with the per-origin slots. *)
+  let anycast_prefix j =
+    Prefix.make ~addr:((10 lsl 24) lor (255 lsl 16) lor (j lsl 8)) ~len:24
+
+  let create ?(anycast = 0) ~origins ~prefixes_per_origin () =
+    let per_origin =
+      List.concat
+        (List.mapi
+           (fun i origin ->
+             List.init prefixes_per_origin (fun j ->
+                 { origin; prefix = slot_prefix i j; live = false }))
+           origins)
+    in
+    let n_origins = List.length origins in
+    let anycast_slots =
+      if n_origins < 2 then []
+      else
+        List.concat
+          (List.init anycast (fun j ->
+               let prefix = anycast_prefix j in
+               [
+                 { origin = List.nth origins (j mod n_origins); prefix; live = false };
+                 {
+                   origin = List.nth origins ((j + 1) mod n_origins);
+                   prefix;
+                   live = false;
+                 };
+               ]))
+    in
+    { slots = Array.of_list (per_origin @ anycast_slots) }
+
+  let size t = Array.length t.slots
+
+  let live_count t =
+    Array.fold_left (fun n s -> if s.live then n + 1 else n) 0 t.slots
+
+  let apply sim = function
+    | Announce (asn, prefix) -> Simulator.originate sim ~asn prefix
+    | Withdraw (asn, prefix) -> Simulator.withdraw_origin sim ~asn prefix
+
+  let seed t sim =
+    let changes =
+      Array.to_list t.slots
+      |> List.filter_map (fun s ->
+             if s.live then None
+             else begin
+               s.live <- true;
+               Some (Announce (s.origin, s.prefix))
+             end)
+    in
+    List.iter (apply sim) changes;
+    changes
+
+  let step rng ~turnover t sim =
+    let n = Array.length t.slots in
+    let flips = int_of_float (Float.of_int n *. turnover +. 0.5) in
+    let flips = max 0 (min n flips) in
+    (* Sample [flips] distinct slots with a partial Fisher-Yates shuffle over
+       the index array, so the set of flipped slots is a pure function of the
+       DRBG stream. *)
+    let idx = Array.init n Fun.id in
+    for k = 0 to flips - 1 do
+      let r = k + Pvr_crypto.Drbg.uniform_int rng (n - k) in
+      let tmp = idx.(k) in
+      idx.(k) <- idx.(r);
+      idx.(r) <- tmp
+    done;
+    let changes =
+      List.init flips (fun k ->
+          let s = t.slots.(idx.(k)) in
+          s.live <- not s.live;
+          if s.live then Announce (s.origin, s.prefix)
+          else Withdraw (s.origin, s.prefix))
+    in
+    List.iter (apply sim) changes;
+    changes
+end
+
 let batches ~window_ms events =
   let table = Hashtbl.create 64 in
   List.iter

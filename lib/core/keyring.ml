@@ -5,16 +5,33 @@ type t = {
   rng : C.Drbg.t;
   bits : int;
   mutable keys : C.Rsa.private_key Bgp.Asn.Map.t;
+  pub_memo : (Bgp.Asn.t, C.Rsa.public_key) Hashtbl.t;
+      (* Eager asn -> public key memo: [Wire.verify] resolves the signer's
+         public key on every signature check, and a [Map.find_opt] walk per
+         check is measurable on the engine's hot path.  Entries are added at
+         key-generation time, so lookups never mutate and are safe from any
+         domain. *)
 }
+
+let memo_hits = Pvr_obs.counter "keyring.pub.memo_hits"
+let map_lookups = Pvr_obs.counter "keyring.pub.map_lookups"
 
 let add_key t asn =
   if Bgp.Asn.Map.mem asn t.keys then
     invalid_arg ("Keyring: duplicate key for " ^ Bgp.Asn.to_string asn);
   let key = C.Rsa.generate t.rng ~bits:t.bits in
-  t.keys <- Bgp.Asn.Map.add asn key t.keys
+  t.keys <- Bgp.Asn.Map.add asn key t.keys;
+  Hashtbl.replace t.pub_memo asn key.C.Rsa.pub
 
 let create ?(bits = 1024) rng members =
-  let t = { rng; bits; keys = Bgp.Asn.Map.empty } in
+  let t =
+    {
+      rng;
+      bits;
+      keys = Bgp.Asn.Map.empty;
+      pub_memo = Hashtbl.create (max 16 (2 * List.length members));
+    }
+  in
   List.iter (add_key t) members;
   t
 
@@ -27,6 +44,13 @@ let private_key t asn =
   | Some k -> k
   | None -> raise Not_found
 
-let public_key t asn = (private_key t asn).C.Rsa.pub
+let public_key t asn =
+  match Hashtbl.find_opt t.pub_memo asn with
+  | Some pub ->
+      Pvr_obs.incr memo_hits;
+      pub
+  | None ->
+      Pvr_obs.incr map_lookups;
+      (private_key t asn).C.Rsa.pub
 
 let members t = List.map fst (Bgp.Asn.Map.bindings t.keys)

@@ -18,6 +18,10 @@ val private_key : t -> Pvr_bgp.Asn.t -> Pvr_crypto.Rsa.private_key
 (** @raise Not_found for unknown ASes. *)
 
 val public_key : t -> Pvr_bgp.Asn.t -> Pvr_crypto.Rsa.public_key
-(** @raise Not_found for unknown ASes. *)
+(** Served from an eager per-AS memo built at key-generation time (every
+    signature verification resolves the signer's key, so this is the hot
+    path); the [pvr_obs] counters ["keyring.pub.memo_hits"] and
+    ["keyring.pub.map_lookups"] record how often the memo answered versus a
+    map walk.  @raise Not_found for unknown ASes. *)
 
 val members : t -> Pvr_bgp.Asn.t list

@@ -18,6 +18,41 @@ let bit_string b = if b then "1" else "0"
 
 let commit_bit rng b = commit rng (bit_string b)
 
+let nonce_tag = "pvr-commit-nonce-v1"
+
+let derived_nonce ~key ~context value =
+  Hmac.mac ~key (Bytes_util.encode_list [ nonce_tag; context; value ])
+
+let commit_derived ~key ~context value =
+  let nonce = derived_nonce ~key ~context value in
+  (commit_with_nonce ~nonce value, { value; nonce })
+
+module Cache = struct
+  type t = {
+    key : string;
+    tbl : (string * string, commitment * opening) Hashtbl.t;
+  }
+
+  let hits = Pvr_obs.counter "crypto.commitment.cache.hits"
+  let misses = Pvr_obs.counter "crypto.commitment.cache.misses"
+  let create ~key () = { key; tbl = Hashtbl.create 256 }
+
+  let commit t ~context value =
+    match Hashtbl.find_opt t.tbl (context, value) with
+    | Some r ->
+        Pvr_obs.incr hits;
+        r
+    | None ->
+        Pvr_obs.incr misses;
+        let r = commit_derived ~key:t.key ~context value in
+        Hashtbl.add t.tbl (context, value) r;
+        r
+
+  let commit_bit t ~context b = commit t ~context (bit_string b)
+  let clear t = Hashtbl.reset t.tbl
+  let size t = Hashtbl.length t.tbl
+end
+
 let opening_bit o =
   match o.value with "0" -> Some false | "1" -> Some true | _ -> None
 

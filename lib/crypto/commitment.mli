@@ -30,6 +30,41 @@ val commit_bit : Drbg.t -> bool -> commitment * opening
 val opening_bit : opening -> bool option
 (** Interpret an opening's value as a bit; [None] if it is not ["0"]/["1"]. *)
 
+val commit_derived :
+  key:string -> context:string -> string -> commitment * opening
+(** Deterministic commitment with a {e derived} nonce:
+    [nonce = HMAC(key, tag || context || value)].  Given a secret [key]
+    (e.g. an epoch salt known only to the committer) the nonce is
+    pseudorandom to everyone else, so hiding is preserved, yet the whole
+    commitment is a pure function of [(key, context, value)] — recommitting
+    to an unchanged value reproduces the byte-identical digest.  This is
+    what makes commitments cacheable across verification epochs.  The
+    [context] must make the position unique (prover, prefix, bit index):
+    reusing a [(key, context)] pair for two different values is safe
+    (different values give different nonces), but a context collision leaks
+    value equality across positions. *)
+
+(** Memo table over {!commit_derived} for the engine's incremental
+    verification: one cache per (prover, salt period), keyed by
+    [(context, value)].  Hits and misses are exported through {!Pvr_obs}
+    as ["crypto.commitment.cache.hits"]/[".misses"]; a hit performs no
+    SHA-256 work at all. *)
+module Cache : sig
+  type t
+
+  val create : key:string -> unit -> t
+  (** [key] is the derived-nonce HMAC key (the epoch salt). *)
+
+  val commit : t -> context:string -> string -> commitment * opening
+  val commit_bit : t -> context:string -> bool -> commitment * opening
+
+  val clear : t -> unit
+  (** Drop every entry (on salt rotation — the key a cache was created
+      with never changes, so rotating means creating or clearing). *)
+
+  val size : t -> int
+end
+
 val to_hex : commitment -> string
 
 val of_raw : string -> commitment

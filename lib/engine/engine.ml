@@ -1,0 +1,543 @@
+module Bgp = Pvr_bgp
+module C = Pvr_crypto
+
+type vertex = { vprover : Bgp.Asn.t; vprefix : Bgp.Prefix.t }
+
+type outcome = {
+  vx_vertex : vertex;
+  vx_beneficiary : Bgp.Asn.t;
+  vx_providers : Bgp.Asn.t list;
+  vx_routes : (Bgp.Asn.t * Bgp.Route.t) list;
+  vx_recomputed : bool;
+  vx_detected : bool;
+  vx_convicted : bool;
+  vx_evidence : int;
+  vx_net : Pvr.Runner.net_report option;
+  vx_line : string;
+}
+
+type epoch_report = {
+  ep_epoch : int;
+  ep_period : int;
+  ep_changes : int;
+  ep_msgs : int;
+  ep_vertices : int;
+  ep_dirty : int;
+  ep_skipped : int;
+  ep_detected : int;
+  ep_convicted : int;
+  ep_outcomes : outcome list;
+  ep_digest : string;
+}
+
+let c_epochs = Pvr_obs.counter "engine.epochs"
+let c_rounds = Pvr_obs.counter "engine.rounds"
+let c_skipped = Pvr_obs.counter "engine.vertices.skipped"
+let sign_hits = Pvr_obs.counter "engine.cache.sign.hits"
+let sign_misses = Pvr_obs.counter "engine.cache.sign.misses"
+
+(* Per-vertex memo tables.  A vertex is (re)computed by exactly one pool
+   task per epoch, so its tables have a single owner at any time; the pool's
+   join barrier publishes them back to the scheduling domain. *)
+type vcache = {
+  ccache : C.Commitment.Cache.t;
+  ann_memo : (string, Pvr.Wire.announce Pvr.Wire.signed) Hashtbl.t;
+  cmt_memo : (string, Pvr.Wire.commit Pvr.Wire.signed) Hashtbl.t;
+  exp_memo : (string, Pvr.Wire.export Pvr.Wire.signed) Hashtbl.t;
+}
+
+type snapshot = {
+  sn_vertex : vertex;
+  sn_beneficiary : Bgp.Asn.t;
+  sn_inputs : (Bgp.Asn.t * Bgp.Route.t) list; (* sorted by ASN *)
+  sn_export : Bgp.Route.t; (* unprepended; equals one input route *)
+}
+
+type vstate = {
+  mutable vs_snapshot : snapshot;
+  mutable vs_period : int;
+  mutable vs_outcome : outcome;
+  mutable vs_cache : vcache;
+}
+
+type t = {
+  keyring : Pvr.Keyring.t;
+  topo : Bgp.Topology.t;
+  sim : Bgp.Simulator.t;
+  jobs : int;
+  cache : bool;
+  salt_every : int;
+  max_path_len : int;
+  behaviour : Pvr.Adversary.behaviour;
+  faults : Pvr.Runner.fault_profile option;
+  secret : string;
+  ases : Bgp.Asn.t list; (* sorted *)
+  states : (string, vstate) Hashtbl.t;
+  mutable epoch_no : int;
+  mutable chain : string;
+  mutable live : vertex list;
+}
+
+let chain0 = C.Sha256.digest_hex "pvr-engine-report-v1"
+
+let create ?(jobs = 1) ?(cache = true) ?(salt_every = 8)
+    ?(max_path_len = Pvr.Proto_min.default_max_path_len)
+    ?(behaviour = Pvr.Adversary.Honest) ?faults rng keyring ~topology ~sim ()
+    =
+  (* One draw fixes every future salt and task seed; the caller's generator
+     is never consulted again, so engine output is a function of this
+     secret alone. *)
+  let secret = C.Drbg.generate rng 32 in
+  {
+    keyring;
+    topo = topology;
+    sim;
+    jobs = max 1 jobs;
+    cache;
+    salt_every = max 1 salt_every;
+    max_path_len;
+    behaviour;
+    faults;
+    secret;
+    ases = List.sort Bgp.Asn.compare (Bgp.Topology.ases topology);
+    states = Hashtbl.create 256;
+    epoch_no = 0;
+    chain = chain0;
+    live = [];
+  }
+
+let current_epoch t = t.epoch_no
+let digest t = t.chain
+let live_vertices t = t.live
+
+let vertex_key v =
+  Bgp.Asn.to_string v.vprover ^ "|" ^ Bgp.Prefix.to_string v.vprefix
+
+let salt t ~period =
+  C.Hmac.mac ~key:t.secret ("engine-salt|" ^ string_of_int period)
+
+let fresh_vcache t ~period =
+  {
+    ccache = C.Commitment.Cache.create ~key:(salt t ~period) ();
+    ann_memo = Hashtbl.create 32;
+    cmt_memo = Hashtbl.create 8;
+    exp_memo = Hashtbl.create 8;
+  }
+
+let snapshot_equal a b =
+  Bgp.Asn.equal a.sn_beneficiary b.sn_beneficiary
+  && Bgp.Route.equal a.sn_export b.sn_export
+  && List.equal
+       (fun (n, r) (m, s) -> Bgp.Asn.equal n m && Bgp.Route.equal r s)
+       a.sn_inputs b.sn_inputs
+
+let snapshot_digest sn =
+  C.Sha256.digest_hex
+    (String.concat "\x00"
+       (Bgp.Asn.to_string sn.sn_beneficiary
+       :: Bgp.Route.encode sn.sn_export
+       :: List.concat_map
+            (fun (n, r) -> [ Bgp.Asn.to_string n; Bgp.Route.encode r ])
+            sn.sn_inputs))
+
+(* The simulator's Adj-RIB-Out entry carries the prover's prepended path;
+   PVR compares exports against inputs as received, so strip the prover. *)
+let unprepend prover (r : Bgp.Route.t) =
+  match r.Bgp.Route.as_path with
+  | first :: (next :: _ as rest) when Bgp.Asn.equal first prover ->
+      { r with Bgp.Route.as_path = rest; next_hop = next }
+  | _ -> r
+
+(* Enumerate this epoch's live vertices: every (prover, prefix) with at
+   least one admissible input and a beneficiary neighbor whose Adj-RIB-Out
+   entry matches an input route.  Self-originated prefixes are not promises
+   about received routes and are skipped.  With the default decision
+   process and uniform local-pref the simulator's export is a minimum-length
+   input, so an honest engine round raises no evidence — the test suite's
+   Accuracy soak depends on exactly this enumeration. *)
+let collect t =
+  List.concat_map
+    (fun prover ->
+      let rib = Bgp.Simulator.rib t.sim prover in
+      let neighbors =
+        List.map fst (Bgp.Topology.neighbors t.topo prover)
+        |> List.sort Bgp.Asn.compare
+      in
+      let prefixes = List.sort Bgp.Prefix.compare (Bgp.Rib.prefixes rib) in
+      List.filter_map
+        (fun prefix ->
+          let self_originated =
+            match Bgp.Rib.get_best rib prefix with
+            | Some r -> (
+                match r.Bgp.Route.as_path with
+                | [ a ] -> Bgp.Asn.equal a prover
+                | _ -> false)
+            | None -> false
+          in
+          if self_originated then None
+          else begin
+            let inputs =
+              List.filter_map
+                (fun n ->
+                  match Bgp.Rib.get_in rib ~neighbor:n prefix with
+                  | Some r when Bgp.Route.path_length r <= t.max_path_len ->
+                      Some (n, r)
+                  | _ -> None)
+                neighbors
+            in
+            if inputs = [] then None
+            else begin
+              let providers = List.map fst inputs in
+              let rec pick = function
+                | [] -> None
+                | n :: rest -> (
+                    if List.exists (Bgp.Asn.equal n) providers then pick rest
+                    else
+                      match
+                        Bgp.Simulator.exported_route t.sim ~asn:prover
+                          ~neighbor:n prefix
+                      with
+                      | Some out ->
+                          let route = unprepend prover out in
+                          if
+                            List.exists
+                              (fun (_, r) -> Bgp.Route.equal r route)
+                              inputs
+                          then Some (n, route)
+                          else pick rest
+                      | None -> pick rest)
+              in
+              match pick neighbors with
+              | None -> None
+              | Some (beneficiary, export) ->
+                  Some
+                    {
+                      sn_vertex = { vprover = prover; vprefix = prefix };
+                      sn_beneficiary = beneficiary;
+                      sn_inputs = inputs;
+                      sn_export = export;
+                    }
+            end
+          end)
+        prefixes)
+    t.ases
+
+let sign_memo tbl keyring ~as_ ~encode payload =
+  let key = Bgp.Asn.to_string as_ ^ "|" ^ encode payload in
+  match Hashtbl.find_opt tbl key with
+  | Some s ->
+      Pvr_obs.incr sign_hits;
+      s
+  | None ->
+      Pvr_obs.incr sign_misses;
+      let s = Pvr.Wire.sign keyring ~as_ ~encode payload in
+      Hashtbl.add tbl key s;
+      s
+
+let providers_string providers =
+  String.concat "," (List.map Bgp.Asn.to_string providers)
+
+(* The honest fast path: Proto_min.prove re-built on derived commitments and
+   the memo tables, so recommitting to unchanged routes is pure cache hits.
+   A pure function of (keyring, salt period, snapshot): no DRBG draws. *)
+let fast_round keyring ~max_path_len ~wire_epoch vc (sn : snapshot) =
+  let prover = sn.sn_vertex.vprover and prefix = sn.sn_vertex.vprefix in
+  let beneficiary = sn.sn_beneficiary in
+  let announces =
+    List.map
+      (fun (n, r) ->
+        ( n,
+          sign_memo vc.ann_memo keyring ~as_:n
+            ~encode:Pvr.Wire.encode_announce
+            { Pvr.Wire.ann_epoch = wire_epoch; ann_to = prover; ann_route = r }
+        ))
+      sn.sn_inputs
+  in
+  let lengths = List.map (fun (_, r) -> Bgp.Route.path_length r) sn.sn_inputs in
+  let shortest = List.fold_left min max_int lengths in
+  let bits = List.init max_path_len (fun i -> shortest <= i + 1) in
+  let ctx i =
+    Printf.sprintf "%s|%s|%d|%d" (Bgp.Asn.to_string prover)
+      (Bgp.Prefix.to_string prefix) wire_epoch (i + 1)
+  in
+  let committed =
+    List.mapi
+      (fun i b -> C.Commitment.Cache.commit_bit vc.ccache ~context:(ctx i) b)
+      bits
+  in
+  let commit =
+    sign_memo vc.cmt_memo keyring ~as_:prover ~encode:Pvr.Wire.encode_commit
+      {
+        Pvr.Wire.cmt_epoch = wire_epoch;
+        cmt_prefix = prefix;
+        cmt_scheme = Pvr.Proto_min.scheme;
+        cmt_commitments =
+          List.map
+            (fun ((c : C.Commitment.commitment), _) -> (c :> string))
+            committed;
+      }
+  in
+  let openings = List.map snd committed in
+  let opening_at i = List.nth openings (i - 1) in
+  let neighbor_disclosures =
+    List.map
+      (fun (n, (ann : Pvr.Wire.announce Pvr.Wire.signed)) ->
+        let len =
+          Bgp.Route.path_length ann.Pvr.Wire.payload.Pvr.Wire.ann_route
+        in
+        (n, { Pvr.Proto_common.nd_index = len; nd_opening = opening_at len }))
+      announces
+  in
+  let provenance =
+    List.find_opt
+      (fun (_, (ann : Pvr.Wire.announce Pvr.Wire.signed)) ->
+        Bgp.Route.equal ann.Pvr.Wire.payload.Pvr.Wire.ann_route sn.sn_export)
+      announces
+  in
+  let export =
+    Option.map
+      (fun (_, ann) ->
+        sign_memo vc.exp_memo keyring ~as_:prover
+          ~encode:Pvr.Wire.encode_export
+          {
+            Pvr.Wire.exp_epoch = wire_epoch;
+            exp_to = beneficiary;
+            exp_route = sn.sn_export;
+            exp_provenance = Some ann;
+          })
+      provenance
+  in
+  let bd =
+    {
+      Pvr.Proto_common.bd_openings = List.mapi (fun i o -> (i + 1, o)) openings;
+      bd_export = export;
+    }
+  in
+  let raised = ref [] in
+  List.iter
+    (fun (n, ann) ->
+      let disclosure = List.assoc_opt n neighbor_disclosures in
+      List.iter
+        (fun e -> raised := e :: !raised)
+        (Pvr.Proto_min.check_neighbor keyring ~me:n ~my_announce:ann ~commit
+           ~disclosure))
+    announces;
+  List.iter
+    (fun e -> raised := e :: !raised)
+    (Pvr.Proto_min.check_beneficiary keyring ~me:beneficiary ~commit
+       ~disclosure:bd);
+  let raised = List.rev !raised in
+  let verdicts = List.map (Pvr.Judge.evaluate_offline keyring) raised in
+  let detected = raised <> [] in
+  let convicted = List.exists (fun v -> v = Pvr.Judge.Guilty) verdicts in
+  let commit_hex =
+    String.sub
+      (C.Sha256.digest_hex
+         (String.concat "" commit.Pvr.Wire.payload.Pvr.Wire.cmt_commitments))
+      0 16
+  in
+  let providers = List.map fst sn.sn_inputs in
+  let line =
+    Printf.sprintf "%s %s b=%s prov=%s det=%b conv=%b ev=%d c=%s"
+      (Bgp.Asn.to_string prover)
+      (Bgp.Prefix.to_string prefix)
+      (Bgp.Asn.to_string beneficiary)
+      (providers_string providers)
+      detected convicted (List.length raised) commit_hex
+  in
+  {
+    vx_vertex = sn.sn_vertex;
+    vx_beneficiary = beneficiary;
+    vx_providers = providers;
+    vx_routes = sn.sn_inputs;
+    vx_recomputed = true;
+    vx_detected = detected;
+    vx_convicted = convicted;
+    vx_evidence = List.length raised;
+    vx_net = None;
+    vx_line = line;
+  }
+
+(* Fault-injected (or Byzantine) rounds delegate to the full runner.  The
+   round's DRBG is seeded from (engine secret, vertex, salt period, snapshot
+   digest), making the outcome a pure function of the vertex state — the
+   same schedule regardless of scheduling order, jobs, or whether the cache
+   skipped the vertex last epoch. *)
+let faulty_round keyring ~max_path_len ~wire_epoch ~secret ~behaviour ~faults
+    (sn : snapshot) =
+  let prover = sn.sn_vertex.vprover and prefix = sn.sn_vertex.vprefix in
+  let seed =
+    String.concat "|"
+      [
+        secret;
+        "round";
+        vertex_key sn.sn_vertex;
+        string_of_int wire_epoch;
+        snapshot_digest sn;
+      ]
+  in
+  let rng = C.Drbg.create ~seed in
+  let nr =
+    Pvr.Runner.min_round_faulty ?faults ~max_path_len behaviour rng keyring
+      ~prover ~beneficiary:sn.sn_beneficiary ~epoch:wire_epoch ~prefix
+      ~routes:sn.sn_inputs
+  in
+  let base = nr.Pvr.Runner.base in
+  let providers = List.map fst sn.sn_inputs in
+  let line =
+    Printf.sprintf "%s %s b=%s prov=%s det=%b conv=%b ev=%d m=%d cb=%d"
+      (Bgp.Asn.to_string prover)
+      (Bgp.Prefix.to_string prefix)
+      (Bgp.Asn.to_string sn.sn_beneficiary)
+      (providers_string providers)
+      base.Pvr.Runner.detected base.Pvr.Runner.convicted
+      (List.length base.Pvr.Runner.raised)
+      base.Pvr.Runner.messages base.Pvr.Runner.commit_bytes
+  in
+  {
+    vx_vertex = sn.sn_vertex;
+    vx_beneficiary = sn.sn_beneficiary;
+    vx_providers = providers;
+    vx_routes = sn.sn_inputs;
+    vx_recomputed = true;
+    vx_detected = base.Pvr.Runner.detected;
+    vx_convicted = base.Pvr.Runner.convicted;
+    vx_evidence = List.length base.Pvr.Runner.raised;
+    vx_net = Some nr;
+    vx_line = line;
+  }
+
+let run_round t ~wire_epoch vc sn =
+  if t.faults <> None || t.behaviour <> Pvr.Adversary.Honest then
+    faulty_round t.keyring ~max_path_len:t.max_path_len ~wire_epoch
+      ~secret:t.secret ~behaviour:t.behaviour ~faults:t.faults sn
+  else fast_round t.keyring ~max_path_len:t.max_path_len ~wire_epoch vc sn
+
+let report_line r =
+  Printf.sprintf
+    "epoch=%d period=%d changes=%d msgs=%d vertices=%d dirty=%d skipped=%d \
+     detected=%d convicted=%d digest=%s"
+    r.ep_epoch r.ep_period r.ep_changes r.ep_msgs r.ep_vertices r.ep_dirty
+    r.ep_skipped r.ep_detected r.ep_convicted r.ep_digest
+
+let epoch ?(apply = fun _ -> 0) t =
+  Pvr_obs.with_span "engine.epoch" @@ fun () ->
+  t.epoch_no <- t.epoch_no + 1;
+  let period = (t.epoch_no - 1) / t.salt_every in
+  let wire_epoch = period + 1 in
+  let changes = apply t.sim in
+  let msgs = Bgp.Simulator.run t.sim in
+  let snapshots = collect t in
+  let classified =
+    List.map
+      (fun sn ->
+        match Hashtbl.find_opt t.states (vertex_key sn.sn_vertex) with
+        | Some vs
+          when t.cache && vs.vs_period = period
+               && snapshot_equal vs.vs_snapshot sn ->
+            `Clean (sn, vs)
+        | prev -> `Dirty (sn, prev))
+      snapshots
+  in
+  let dirty =
+    List.filter_map
+      (function `Dirty (sn, prev) -> Some (sn, prev) | `Clean _ -> None)
+      classified
+  in
+  let caches =
+    Array.of_list
+      (List.map
+         (fun (_, prev) ->
+           match prev with
+           | Some vs when t.cache && vs.vs_period = period -> vs.vs_cache
+           | _ -> fresh_vcache t ~period)
+         dirty)
+  in
+  let tasks =
+    Array.of_list dirty
+    |> Array.mapi (fun i (sn, _) -> fun () -> run_round t ~wire_epoch caches.(i) sn)
+  in
+  let results = Pool.run ~jobs:t.jobs tasks in
+  (* Merge back in vertex order; record fresh state for recomputed vertices,
+     carry the previous outcome for clean ones. *)
+  let i = ref 0 in
+  let outcomes =
+    List.map
+      (function
+        | `Clean ((_ : snapshot), vs) ->
+            { vs.vs_outcome with vx_recomputed = false }
+        | `Dirty (sn, prev) ->
+            let k = !i in
+            incr i;
+            let outcome = results.(k) in
+            let vc = caches.(k) in
+            (match prev with
+            | Some vs ->
+                vs.vs_snapshot <- sn;
+                vs.vs_period <- period;
+                vs.vs_outcome <- outcome;
+                vs.vs_cache <- vc
+            | None ->
+                Hashtbl.replace t.states (vertex_key sn.sn_vertex)
+                  {
+                    vs_snapshot = sn;
+                    vs_period = period;
+                    vs_outcome = outcome;
+                    vs_cache = vc;
+                  });
+            outcome)
+      classified
+  in
+  (* Prune only state left over from earlier salt periods: a vertex that
+     flaps away and back within the current period keeps its state (a
+     snapshot match skips it outright, a partial match reuses its memo
+     tables), while rotation invalidates the tables anyway. *)
+  let live_keys = Hashtbl.create (List.length snapshots) in
+  List.iter
+    (fun sn -> Hashtbl.replace live_keys (vertex_key sn.sn_vertex) ())
+    snapshots;
+  let dead =
+    Hashtbl.fold
+      (fun k vs acc ->
+        if vs.vs_period < period && not (Hashtbl.mem live_keys k) then
+          k :: acc
+        else acc)
+      t.states []
+  in
+  List.iter (Hashtbl.remove t.states) dead;
+  t.live <- List.map (fun sn -> sn.sn_vertex) snapshots;
+  let n_vertices = List.length snapshots in
+  let n_dirty = List.length dirty in
+  let n_skipped = n_vertices - n_dirty in
+  Pvr_obs.incr c_epochs;
+  Pvr_obs.add c_rounds n_dirty;
+  Pvr_obs.add c_skipped n_skipped;
+  let detected =
+    List.fold_left (fun n o -> if o.vx_detected then n + 1 else n) 0 outcomes
+  in
+  let convicted =
+    List.fold_left (fun n o -> if o.vx_convicted then n + 1 else n) 0 outcomes
+  in
+  (* Hash-chain the canonical epoch record.  Everything hashed here is
+     independent of jobs and of the cache setting (dirty/skipped are not
+     included), which is exactly the determinism contract. *)
+  let canonical =
+    String.concat "\n"
+      (Printf.sprintf "epoch %d period %d changes %d msgs %d vertices %d"
+         t.epoch_no period changes msgs n_vertices
+      :: List.map (fun o -> o.vx_line) outcomes)
+  in
+  t.chain <- C.Sha256.digest_hex (t.chain ^ "\n" ^ canonical);
+  {
+    ep_epoch = t.epoch_no;
+    ep_period = period;
+    ep_changes = changes;
+    ep_msgs = msgs;
+    ep_vertices = n_vertices;
+    ep_dirty = n_dirty;
+    ep_skipped = n_skipped;
+    ep_detected = detected;
+    ep_convicted = convicted;
+    ep_outcomes = outcomes;
+    ep_digest = t.chain;
+  }

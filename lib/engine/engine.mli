@@ -1,0 +1,116 @@
+(** Continuous, topology-wide verification: the steady-state system §3.8's
+    overhead argument is about.
+
+    The engine drives {e every promising AS} of a simulated internet
+    ({!Pvr_bgp.Topology} + {!Pvr_bgp.Simulator}) through a sequence of
+    verification epochs.  Each {!epoch}: apply a BGP update batch to the
+    simulator, run it to convergence, diff every prover's inputs/export
+    against the previous epoch, and re-run §3.3 minimum rounds {e only for
+    the dirty vertices} — a vertex is one (prover, prefix) promise with its
+    providing neighbors and a beneficiary.  Clean vertices carry their
+    previous outcome forward untouched.
+
+    {2 Incremental commitments}
+
+    Recomputed rounds draw no fresh randomness: commitment nonces are
+    {e derived} ({!Pvr_crypto.Commitment.commit_derived}) from an epoch
+    salt, itself derived from the engine's master seed and rotated every
+    [salt_every] epochs (the wire epoch is the salt-period index, so
+    commitments from different periods never mix).  Within a period an
+    unchanged route therefore reproduces byte-identical announces,
+    commitments and exports, which per-vertex memo tables turn into cache
+    hits — no SHA-256, no RSA.  Hits/misses are exported through {!Pvr_obs}
+    (["crypto.commitment.cache.*"], ["engine.cache.sign.*"]).
+
+    {2 Multicore scheduling and determinism}
+
+    Dirty vertices are scheduled onto a {!Pool} of OCaml 5 domains
+    ([jobs]).  Every task is a pure function of (master seed, vertex
+    snapshot, salt period): the fast path uses derived nonces only, and
+    fault-injected rounds seed a private DRBG from the vertex snapshot
+    digest.  Hence the determinism contract: {b same seed ⇒ byte-identical
+    reports and digest, for any [jobs] and for the cache on or off}.  The
+    test suite asserts both equivalences. *)
+
+module Bgp = Pvr_bgp
+
+type t
+
+type vertex = { vprover : Bgp.Asn.t; vprefix : Bgp.Prefix.t }
+
+type outcome = {
+  vx_vertex : vertex;
+  vx_beneficiary : Bgp.Asn.t;
+  vx_providers : Bgp.Asn.t list;  (** sorted by ASN *)
+  vx_routes : (Bgp.Asn.t * Bgp.Route.t) list;
+      (** the round's inputs, as received at the prover *)
+  vx_recomputed : bool;  (** [false]: carried forward from a clean epoch *)
+  vx_detected : bool;
+  vx_convicted : bool;
+  vx_evidence : int;
+  vx_net : Pvr.Runner.net_report option;
+      (** present for fault-injected rounds — feed it to
+          {!Pvr.Runner.detection_expected} *)
+  vx_line : string;
+      (** canonical one-line rendering; the per-epoch digest hashes these.
+          Excludes [vx_recomputed], so it is identical whether the outcome
+          was recomputed or carried forward. *)
+}
+
+type epoch_report = {
+  ep_epoch : int;  (** engine epoch, 1-based *)
+  ep_period : int;  (** salt period = (epoch-1) / salt_every *)
+  ep_changes : int;  (** update-batch size reported by [apply] *)
+  ep_msgs : int;  (** simulator messages to convergence *)
+  ep_vertices : int;  (** live vertices this epoch *)
+  ep_dirty : int;  (** rounds actually recomputed *)
+  ep_skipped : int;  (** clean vertices carried forward *)
+  ep_detected : int;
+  ep_convicted : int;
+  ep_outcomes : outcome list;  (** every live vertex, sorted by (prover, prefix) *)
+  ep_digest : string;
+      (** running hex digest over all epochs so far (hash-chained) *)
+}
+
+val create :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?salt_every:int ->
+  ?max_path_len:int ->
+  ?behaviour:Pvr.Adversary.behaviour ->
+  ?faults:Pvr.Runner.fault_profile ->
+  Pvr_crypto.Drbg.t ->
+  Pvr.Keyring.t ->
+  topology:Bgp.Topology.t ->
+  sim:Bgp.Simulator.t ->
+  unit ->
+  t
+(** [jobs] (default 1) worker domains; [cache] (default [true]) — off means
+    every live vertex is recomputed every epoch with no memo tables (the
+    E11 baseline); [salt_every] (default 8) epochs per salt period;
+    [behaviour] (default [Honest]) is injected at {e every} prover;
+    [faults] (default none) routes each round through
+    {!Pvr.Runner.min_round_faulty}.  The master seed is drawn from the
+    DRBG at creation — the engine never touches the generator again, so
+    results are independent of later draws from it. *)
+
+val epoch : ?apply:(Bgp.Simulator.t -> int) -> t -> epoch_report
+(** Advance one epoch: [apply] injects this epoch's update batch into the
+    simulator and returns its size (default: no changes), then the engine
+    converges the simulator and verifies.  Raises whatever a task raised,
+    after the worker pool drains. *)
+
+val current_epoch : t -> int
+
+val digest : t -> string
+(** The running report digest ([ep_digest] of the latest epoch; the hex
+    digest of an empty history before the first one). *)
+
+val live_vertices : t -> vertex list
+(** The (prover, prefix) promises the engine tracked last epoch, sorted. *)
+
+val report_line : epoch_report -> string
+(** One canonical summary line, stable across [jobs] and cache settings:
+    [epoch=… period=… changes=… msgs=… vertices=… dirty+skipped=… detected=…
+    convicted=… digest=…] — except for [dirty]/[skipped], which reflect the
+    cache setting by design. *)

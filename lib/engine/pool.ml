@@ -1,0 +1,35 @@
+type 'a slot = Pending | Done of 'a | Failed of exn
+
+let run_inline tasks = Array.map (fun f -> f ()) tasks
+
+let run ~jobs tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then run_inline tasks
+  else begin
+    let jobs = min jobs n in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* Distinct array cells per task: no two domains ever write the
+             same location, and the joins below publish every write. *)
+          (results.(i) <-
+             (match tasks.(i) () with
+             | v -> Done v
+             | exception e -> Failed e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed e -> raise e
+        | Pending -> assert false (* next passed n only after every slot *))
+      results
+  end

@@ -1,0 +1,20 @@
+(** Deterministic fixed-size worker pool over OCaml 5 domains.
+
+    [run ~jobs tasks] evaluates every thunk in [tasks] and returns their
+    results {e in task order}, regardless of which domain ran which task or
+    how the domains interleaved.  Determinism therefore reduces to the
+    tasks themselves being pure functions (the engine arranges that: each
+    task draws randomness only from its own derived DRBG and owns its
+    vertex caches exclusively).
+
+    Work is handed out by an atomic next-task index, so domains
+    self-balance across tasks of uneven cost.  Results are written into
+    per-task slots; [Domain.join] on every worker is the happens-before
+    edge that makes them visible to the caller.  If any task raises, the
+    pool finishes the remaining tasks, joins every domain, and re-raises
+    the first exception (by task order). *)
+
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+(** [jobs <= 1] (or fewer than two tasks) runs inline on the calling
+    domain, in order — byte-identical results by construction.  [jobs] is
+    otherwise capped at the number of tasks. *)

@@ -1,28 +1,43 @@
 (* Global registry of named counters and latency histograms.  Everything is
    gated on [enabled_flag]: an instrumented hot path pays one load + branch
-   when metrics are off. *)
+   when metrics are off.
+
+   Counter increments are atomic and the registry/histogram mutations are
+   mutex-guarded so instrumented code can run on multiple domains (the
+   engine's worker pool) without losing counts.  The mutex is only ever
+   taken while metrics are enabled or during name registration. *)
 
 let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+let registry_mutex = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 (* ---- counters ------------------------------------------------------------ *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
+  with_lock @@ fun () ->
   match Hashtbl.find_opt counters_tbl name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; c_value = 0 } in
+      let c = { c_name = name; c_value = Atomic.make 0 } in
       Hashtbl.add counters_tbl name c;
       c
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
-let value c = c.c_value
+let incr c = if !enabled_flag then Atomic.incr c.c_value
+
+let add c n =
+  if !enabled_flag then ignore (Atomic.fetch_and_add c.c_value n : int)
+
+let value c = Atomic.get c.c_value
 
 (* ---- histograms ---------------------------------------------------------- *)
 
@@ -42,6 +57,7 @@ type histogram = {
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let histogram name =
+  with_lock @@ fun () ->
   match Hashtbl.find_opt histograms_tbl name with
   | Some h -> h
   | None ->
@@ -73,14 +89,14 @@ let bucket_index seconds =
 let bucket_upper_seconds i = Float.of_int (1 lsl i) *. 1e-9
 
 let observe h seconds =
-  if !enabled_flag then begin
+  if !enabled_flag then
+    with_lock @@ fun () ->
     let seconds = if seconds < 0.0 then 0.0 else seconds in
     h.h_buckets.(bucket_index seconds) <- h.h_buckets.(bucket_index seconds) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. seconds;
     if seconds < h.h_min then h.h_min <- seconds;
     if seconds > h.h_max then h.h_max <- seconds
-  end
 
 let with_span name f =
   if not !enabled_flag then f ()
@@ -97,7 +113,8 @@ let with_span name f =
   end
 
 let reset_all () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  with_lock @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters_tbl;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.h_buckets 0 n_buckets 0;
@@ -206,8 +223,11 @@ module Snapshot = struct
   }
 
   let capture () =
+    with_lock @@ fun () ->
     let cs =
-      Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters_tbl []
+      Hashtbl.fold
+        (fun name c acc -> (name, Atomic.get c.c_value) :: acc)
+        counters_tbl []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
     let hs =
@@ -323,6 +343,6 @@ module Tally = struct
       Hashtbl.iter
         (fun name r ->
           let c = counter name in
-          c.c_value <- c.c_value + !r)
+          ignore (Atomic.fetch_and_add c.c_value !r : int))
         t
 end

@@ -9,7 +9,10 @@
     [BENCH_pvr.json] and the CLI's [--stats] flag.
 
     Instrumentation is {e disabled by default} and is a single branch on a
-    [bool ref] when off, so the hot paths pay nothing measurable.  The one
+    [bool ref] when off, so the hot paths pay nothing measurable.  Counter
+    updates are atomic and histogram/registry mutations are mutex-guarded,
+    so instrumented code may run on multiple domains (the
+    {!Pvr_engine.Pool} workers) without losing counts.  The one
     exception is {!Tally}: protocol-semantic counts (messages exchanged in
     a round, commitment bytes) that a {!Snapshot} consumer and the runner's
     report both need, which are therefore always counted locally and only

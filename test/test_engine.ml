@@ -1,0 +1,406 @@
+(* Tests for pvr_engine: the deterministic domain pool, derived/cached
+   commitments, the keyring public-key memo, and the continuous engine's
+   contracts — incremental state ≡ from-scratch recomputation (cache on ≡
+   cache off), byte-identical reports for any --jobs value, cache-on doing
+   strictly less SHA-256 work under partial churn, and §2.3 Accuracy /
+   Detection holding across multi-epoch fault-injected soaks. *)
+
+module P = Pvr
+module E = Pvr_engine.Engine
+module Pool = Pvr_engine.Pool
+module G = Pvr_bgp
+module C = Pvr_crypto
+module N = Pvr_net
+module Obs = Pvr_obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Counter deltas attributable to one thunk. *)
+let counted f =
+  Obs.set_enabled true;
+  let before = Obs.Snapshot.capture () in
+  let result = f () in
+  let d = Obs.Snapshot.diff ~before ~after:(Obs.Snapshot.capture ()) in
+  Obs.set_enabled false;
+  (result, d)
+
+let delta d name = Obs.Snapshot.counter_value d name
+
+(* ---- pool ----------------------------------------------------------------------- *)
+
+let pool_preserves_order () =
+  let tasks = Array.init 37 (fun i -> fun () -> i * i) in
+  List.iter
+    (fun jobs ->
+      let r = Pool.run ~jobs tasks in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (Array.init 37 (fun i -> i * i))
+        r)
+    [ 1; 2; 4; 37; 64 ]
+
+let pool_uneven_tasks () =
+  (* Tasks of very different cost still land in their own slots. *)
+  let cost i = if i mod 5 = 0 then 20_000 else 10 in
+  let tasks =
+    Array.init 23 (fun i ->
+        fun () ->
+          let acc = ref 0 in
+          for j = 1 to cost i do
+            acc := (!acc + (i * j)) land 0xFFFF
+          done;
+          (i, !acc))
+  in
+  let expect = Array.map (fun f -> f ()) tasks in
+  Alcotest.(check (array (pair int int))) "same" expect (Pool.run ~jobs:4 tasks)
+
+exception Boom of int
+
+let pool_reraises_first_exception () =
+  let tasks =
+    Array.init 10 (fun i ->
+        fun () -> if i = 3 || i = 7 then raise (Boom i) else i)
+  in
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs tasks with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+          check_int (Printf.sprintf "first failure (jobs=%d)" jobs) 3 i)
+    [ 1; 4 ]
+
+(* ---- derived commitments -------------------------------------------------------- *)
+
+let derived_commitment_is_deterministic () =
+  let c1, o1 = C.Commitment.commit_derived ~key:"salt" ~context:"v|1" "abc" in
+  let c2, o2 = C.Commitment.commit_derived ~key:"salt" ~context:"v|1" "abc" in
+  check_string "commitment" (C.Commitment.to_hex c1) (C.Commitment.to_hex c2);
+  check_string "nonce" o1.C.Commitment.nonce o2.C.Commitment.nonce;
+  check_bool "verifies" true (C.Commitment.verify c1 o1);
+  check_bool "cross-verifies" true (C.Commitment.verify c1 o2)
+
+let derived_commitment_separates () =
+  let c1, _ = C.Commitment.commit_derived ~key:"salt" ~context:"v|1" "abc" in
+  let c2, _ = C.Commitment.commit_derived ~key:"salt" ~context:"v|2" "abc" in
+  let c3, _ = C.Commitment.commit_derived ~key:"salt" ~context:"v|1" "abd" in
+  let c4, _ = C.Commitment.commit_derived ~key:"pepper" ~context:"v|1" "abc" in
+  check_bool "context" false (C.Commitment.to_hex c1 = C.Commitment.to_hex c2);
+  check_bool "value" false (C.Commitment.to_hex c1 = C.Commitment.to_hex c3);
+  check_bool "key" false (C.Commitment.to_hex c1 = C.Commitment.to_hex c4)
+
+let commitment_cache_counts_hits () =
+  let cache = C.Commitment.Cache.create ~key:"salt" () in
+  let (c1, c2, c3), d =
+    counted (fun () ->
+        let c1, _ = C.Commitment.Cache.commit_bit cache ~context:"x" true in
+        let c2, _ = C.Commitment.Cache.commit_bit cache ~context:"x" true in
+        let c3, _ = C.Commitment.Cache.commit_bit cache ~context:"y" true in
+        (c1, c2, c3))
+  in
+  check_int "misses" 2 (delta d "crypto.commitment.cache.misses");
+  check_int "hits" 1 (delta d "crypto.commitment.cache.hits");
+  check_string "hit is identical" (C.Commitment.to_hex c1)
+    (C.Commitment.to_hex c2);
+  check_bool "contexts separate" false
+    (C.Commitment.to_hex c1 = C.Commitment.to_hex c3);
+  check_int "size" 2 (C.Commitment.Cache.size cache);
+  C.Commitment.Cache.clear cache;
+  check_int "cleared" 0 (C.Commitment.Cache.size cache)
+
+(* ---- shared engine world -------------------------------------------------------- *)
+
+let asn = G.Asn.of_int
+
+let etopo =
+  lazy
+    (G.Topology.hierarchy
+       (C.Drbg.of_int_seed 99)
+       ~tiers:[ 1; 2; 3 ] ~extra_peering:0.3)
+
+(* One shared keyring for the whole suite: keygen dominates runtime. *)
+let ekeyring =
+  lazy
+    (P.Keyring.create ~bits:512
+       (C.Drbg.of_int_seed 98)
+       (G.Topology.ases (Lazy.force etopo)))
+
+let run_engine ?(jobs = 1) ?(cache = true) ?behaviour ?faults ~seed ~epochs
+    ~turnover () =
+  let topo = Lazy.force etopo in
+  let sim = G.Simulator.create topo in
+  let origins =
+    List.sort (fun a b -> G.Asn.compare b a) (G.Topology.ases topo)
+    |> List.filteri (fun i _ -> i < 2)
+    |> List.rev
+  in
+  let churn =
+    G.Update_gen.Churn.create ~anycast:2 ~origins ~prefixes_per_origin:2 ()
+  in
+  let churn_rng = C.Drbg.of_int_seed seed in
+  let eng =
+    E.create ~jobs ~cache ~salt_every:3 ~max_path_len:8 ?behaviour ?faults
+      (C.Drbg.of_int_seed (seed + 1))
+      (Lazy.force ekeyring) ~topology:topo ~sim ()
+  in
+  let reports =
+    List.init epochs (fun i ->
+        E.epoch
+          ~apply:(fun sim ->
+            if i = 0 then List.length (G.Update_gen.Churn.seed churn sim)
+            else
+              List.length (G.Update_gen.Churn.step churn_rng ~turnover churn sim))
+          eng)
+  in
+  (eng, reports)
+
+let total f reports = List.fold_left (fun n r -> n + f r) 0 reports
+
+let drop_faults =
+  {
+    P.Runner.perfect_faults with
+    P.Runner.fp_policy = N.faulty ~drop:0.15 ~duplicate:0.05 ~delay_max:2 ();
+  }
+
+(* ---- engine determinism --------------------------------------------------------- *)
+
+let jobs_regression () =
+  (* Fixed-seed regression: --jobs 1 and --jobs 4 produce byte-identical
+     reports, line for line, and the same final digest. *)
+  let eng1, r1 = run_engine ~jobs:1 ~seed:5 ~epochs:4 ~turnover:0.3 () in
+  let eng4, r4 = run_engine ~jobs:4 ~seed:5 ~epochs:4 ~turnover:0.3 () in
+  check_bool "world is non-trivial" true (total (fun r -> r.E.ep_vertices) r1 > 0);
+  check_string "digest" (E.digest eng1) (E.digest eng4);
+  List.iter2
+    (fun a b -> check_string "report line" (E.report_line a) (E.report_line b))
+    r1 r4;
+  List.iter2
+    (fun a b ->
+      List.iter2
+        (fun (x : E.outcome) (y : E.outcome) ->
+          check_string "outcome line" x.E.vx_line y.E.vx_line)
+        a.E.ep_outcomes b.E.ep_outcomes)
+    r1 r4
+
+let cache_off_equals_cache_on () =
+  let eng_on, r_on = run_engine ~cache:true ~seed:11 ~epochs:5 ~turnover:0.25 () in
+  let eng_off, r_off =
+    run_engine ~cache:false ~seed:11 ~epochs:5 ~turnover:0.25 ()
+  in
+  check_string "digest" (E.digest eng_on) (E.digest eng_off);
+  check_bool "cache-on actually skipped work" true
+    (total (fun r -> r.E.ep_skipped) r_on > 0);
+  check_int "cache-off recomputes everything" 0
+    (total (fun r -> r.E.ep_skipped) r_off)
+
+let incremental_equals_scratch_qcheck =
+  (* The tentpole property: after N epochs of any churn stream, the
+     incremental engine's reports equal from-scratch recomputation — for
+     any seed, cache on or off, and any jobs count. *)
+  qtest ~count:8 "incremental ≡ from-scratch (any seed/churn)"
+    QCheck2.Gen.(
+      triple (int_range 0 1000) (int_range 2 5)
+        (oneofl [ 0.0; 0.1; 0.3; 1.0 ]))
+    (fun (seed, epochs, turnover) ->
+      let eng_on, _ = run_engine ~cache:true ~seed ~epochs ~turnover () in
+      let eng_off, _ = run_engine ~cache:false ~seed ~epochs ~turnover () in
+      let eng_j3, _ =
+        run_engine ~cache:true ~jobs:3 ~seed ~epochs ~turnover ()
+      in
+      E.digest eng_on = E.digest eng_off && E.digest eng_on = E.digest eng_j3)
+
+let cache_reduces_sha256 () =
+  let (_ : E.t * E.epoch_report list), d_on =
+    counted (fun () -> run_engine ~cache:true ~seed:21 ~epochs:5 ~turnover:0.2 ())
+  in
+  let (_ : E.t * E.epoch_report list), d_off =
+    counted (fun () ->
+        run_engine ~cache:false ~seed:21 ~epochs:5 ~turnover:0.2 ())
+  in
+  check_bool "fewer sha256 finalizes with cache" true
+    (delta d_on "crypto.sha256.ops" < delta d_off "crypto.sha256.ops");
+  check_bool "no more rsa signs with cache" true
+    (delta d_on "crypto.rsa.sign.ops" <= delta d_off "crypto.rsa.sign.ops");
+  check_int "cache-off never hits" 0 (delta d_off "crypto.commitment.cache.hits");
+  check_bool "vertices skipped counted" true
+    (delta d_on "engine.vertices.skipped" > 0)
+
+let engine_memo_hits_on_partial_churn () =
+  (* Deterministic partial-churn schedule: epoch 2 adds a second origin for
+     a prefix announced in epoch 1, inside the same salt period.  Vertices
+     whose route set grew are dirty and re-verify, but the unchanged input
+     route's signature (and any unchanged commitment bits) must come from
+     the per-period memo tables rather than fresh crypto. *)
+  let topo = Lazy.force etopo in
+  let sim = G.Simulator.create topo in
+  let ases = List.sort (fun a b -> G.Asn.compare b a) (G.Topology.ases topo) in
+  let o1 = List.nth ases 0 in
+  let o2 = List.nth ases 1 in
+  let p = G.Prefix.make ~addr:((10 lsl 24) lor (42 lsl 8)) ~len:24 in
+  let eng =
+    E.create ~cache:true ~salt_every:4 ~max_path_len:8
+      (C.Drbg.of_int_seed 61)
+      (Lazy.force ekeyring) ~topology:topo ~sim ()
+  in
+  let (_ : E.epoch_report) =
+    E.epoch
+      ~apply:(fun sim ->
+        G.Simulator.originate sim ~asn:o1 p;
+        1)
+      eng
+  in
+  let (_ : E.epoch_report), d =
+    counted (fun () ->
+        E.epoch
+          ~apply:(fun sim ->
+            G.Simulator.originate sim ~asn:o2 p;
+            1)
+          eng)
+  in
+  check_bool "dirty vertices reuse memoised crypto" true
+    (delta d "engine.cache.sign.hits" > 0
+    || delta d "crypto.commitment.cache.hits" > 0)
+
+(* ---- engine × fault profiles ---------------------------------------------------- *)
+
+let fault_soak_accuracy () =
+  (* §2.3 Accuracy over a multi-epoch fault-injected soak: the honest
+     simulator is never even accused, whatever the network does. *)
+  let eng, reports =
+    run_engine ~faults:drop_faults ~seed:31 ~epochs:4 ~turnover:0.3 ()
+  in
+  check_bool "non-trivial" true (total (fun r -> r.E.ep_vertices) reports > 0);
+  List.iter
+    (fun r ->
+      check_int
+        (Printf.sprintf "epoch %d convictions" r.E.ep_epoch)
+        0 r.E.ep_convicted)
+    reports;
+  (* Fault schedules are derived per vertex: the soak digest is still a
+     pure function of the seed, for any jobs value. *)
+  let eng4, _ =
+    run_engine ~faults:drop_faults ~jobs:4 ~seed:31 ~epochs:4 ~turnover:0.3 ()
+  in
+  check_string "faulty digest across jobs" (E.digest eng) (E.digest eng4)
+
+let fault_soak_detection () =
+  (* A Byzantine prover at every vertex, over a lossy network: whenever the
+     fault schedule delivered the witnessing messages
+     (Runner.detection_expected), the behaviour is detected and convicted. *)
+  let behaviour = P.Adversary.False_bits in
+  let _, reports =
+    run_engine ~behaviour ~faults:drop_faults ~seed:41 ~epochs:3 ~turnover:0.3
+      ()
+  in
+  let required = ref 0 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (o : E.outcome) ->
+          match o.E.vx_net with
+          | None -> Alcotest.fail "faulty mode must carry a net report"
+          | Some nr ->
+              if
+                P.Runner.detection_expected behaviour
+                  ~beneficiary:o.E.vx_beneficiary ~routes:o.E.vx_routes nr
+              then begin
+                incr required;
+                check_bool "detected when witnessed" true o.E.vx_detected;
+                check_bool "convicted when witnessed" true o.E.vx_convicted
+              end)
+        r.E.ep_outcomes)
+    reports;
+  check_bool "oracle required at least one detection" true (!required > 0)
+
+let perfect_net_byzantine_always_convicted () =
+  let behaviour = P.Adversary.Export_nonminimal in
+  let _, reports =
+    run_engine ~behaviour ~faults:P.Runner.perfect_faults ~seed:51 ~epochs:2
+      ~turnover:0.2 ()
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (o : E.outcome) ->
+          (* Export_nonminimal only misbehaves when it has a strictly
+             non-minimal input to export; with one input it is honest. *)
+          let lens =
+            List.map (fun (_, rt) -> G.Route.path_length rt) o.E.vx_routes
+          in
+          let can_cheat =
+            List.length (List.sort_uniq Int.compare lens) > 1
+          in
+          if can_cheat then
+            check_bool "convicted on perfect net" true o.E.vx_convicted)
+        r.E.ep_outcomes)
+    reports
+
+(* ---- keyring memo --------------------------------------------------------------- *)
+
+let keyring_memo_serves_lookups () =
+  let kr = Lazy.force ekeyring in
+  let some_as = List.hd (P.Keyring.members kr) in
+  let (_ : C.Rsa.public_key list), d =
+    counted (fun () -> List.init 7 (fun _ -> P.Keyring.public_key kr some_as))
+  in
+  check_int "memo hits" 7 (delta d "keyring.pub.memo_hits");
+  check_int "no map walks" 0 (delta d "keyring.pub.map_lookups")
+
+(* ---- churn ---------------------------------------------------------------------- *)
+
+let churn_is_deterministic () =
+  let origins = [ asn 5; asn 6 ] in
+  let mk () =
+    let topo = Lazy.force etopo in
+    let sim = G.Simulator.create topo in
+    let churn = G.Update_gen.Churn.create ~origins ~prefixes_per_origin:3 () in
+    let rng = C.Drbg.of_int_seed 7 in
+    let a = G.Update_gen.Churn.seed churn sim in
+    let bs =
+      List.init 4 (fun _ -> G.Update_gen.Churn.step rng ~turnover:0.4 churn sim)
+    in
+    (a, bs, G.Update_gen.Churn.live_count churn)
+  in
+  let a1, b1, l1 = mk () in
+  let a2, b2, l2 = mk () in
+  check_bool "seed equal" true (a1 = a2);
+  check_bool "steps equal" true (b1 = b2);
+  check_int "live count equal" l1 l2;
+  check_int "seed announces every slot" 6 (List.length a1)
+
+let suite =
+  [
+    Alcotest.test_case "pool: preserves task order" `Quick pool_preserves_order;
+    Alcotest.test_case "pool: uneven task costs" `Quick pool_uneven_tasks;
+    Alcotest.test_case "pool: re-raises first exception" `Quick
+      pool_reraises_first_exception;
+    Alcotest.test_case "commitment: derived is deterministic" `Quick
+      derived_commitment_is_deterministic;
+    Alcotest.test_case "commitment: derived separates key/context/value"
+      `Quick derived_commitment_separates;
+    Alcotest.test_case "commitment: cache counts hits" `Quick
+      commitment_cache_counts_hits;
+    Alcotest.test_case "engine: jobs 1 vs 4 byte-identical reports" `Quick
+      jobs_regression;
+    Alcotest.test_case "engine: cache on ≡ cache off" `Quick
+      cache_off_equals_cache_on;
+    incremental_equals_scratch_qcheck;
+    Alcotest.test_case "engine: cache reduces SHA-256 finalizes" `Quick
+      cache_reduces_sha256;
+    Alcotest.test_case "engine: memo hits on partial churn" `Quick
+      engine_memo_hits_on_partial_churn;
+    Alcotest.test_case "engine: accuracy under faults (multi-epoch soak)"
+      `Quick fault_soak_accuracy;
+    Alcotest.test_case "engine: detection oracle under faults" `Quick
+      fault_soak_detection;
+    Alcotest.test_case "engine: byzantine convicted on perfect net" `Quick
+      perfect_net_byzantine_always_convicted;
+    Alcotest.test_case "keyring: memo serves hot-path lookups" `Quick
+      keyring_memo_serves_lookups;
+    Alcotest.test_case "churn: deterministic streams" `Quick
+      churn_is_deterministic;
+  ]

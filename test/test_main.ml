@@ -9,4 +9,5 @@ let () =
       ("smc", Test_smc.suite);
       ("obs", Test_obs.suite);
       ("net", Test_net.suite);
+      ("engine", Test_engine.suite);
     ]
