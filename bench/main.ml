@@ -839,6 +839,115 @@ let e11 () =
       ("throughput", J.List throughput);
     ]
 
+(* ---- E12: durable store: journal overhead & crash-recovery equivalence ----------- *)
+
+let e12 () =
+  header "E12  durable store: journal/snapshot overhead, checkpoint cadence";
+  let seed = 2027 in
+  let topo =
+    G.Topology.hierarchy
+      (C.Drbg.of_int_seed (seed + 1))
+      ~tiers:[ 1; 3; 6 ] ~extra_peering:0.2
+  in
+  let ases = G.Topology.ases topo in
+  Printf.printf "[e12] generating %d RSA-512 key pairs...\n%!"
+    (List.length ases);
+  let ekeyring =
+    P.Keyring.create ~bits:512 (C.Drbg.of_int_seed (seed + 2)) ases
+  in
+  let origins =
+    List.sort (fun a b -> G.Asn.compare b a) ases
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.rev
+  in
+  let epochs = 6 and turnover = 0.2 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pvr-bench-e12-%d" (Unix.getpid ()))
+  in
+  (* One engine run, journaling every epoch into [dir] when [snapshot_every]
+     is given (fsync off: we measure serialization + framing, not the disk).
+     Identical world derivation to E11's [run], so digests must agree with a
+     checkpoint-free run. *)
+  let run ?snapshot_every () =
+    let sim = G.Simulator.create topo in
+    let churn =
+      G.Update_gen.Churn.create ~anycast:2 ~origins ~prefixes_per_origin:2 ()
+    in
+    let churn_rng = C.Drbg.of_int_seed (seed + 3) in
+    let eng =
+      E.create ~jobs:1 ~cache:true ~salt_every:8
+        (C.Drbg.of_int_seed (seed + 4))
+        ekeyring ~topology:topo ~sim ()
+    in
+    (match snapshot_every with
+    | Some _ -> Pvr_store.Store.reset ~dir
+    | None -> ());
+    let session =
+      Option.map
+        (fun n ->
+          Pvr_engine.Persist.start ~fsync:false ~snapshot_every:n ~dir ())
+        snapshot_every
+    in
+    for i = 1 to epochs do
+      let apply sim =
+        if i = 1 then List.length (G.Update_gen.Churn.seed churn sim)
+        else List.length (G.Update_gen.Churn.step churn_rng ~turnover churn sim)
+      in
+      let r = E.epoch ~apply eng in
+      Option.iter (fun s -> Pvr_engine.Persist.record s eng r) session
+    done;
+    Option.iter Pvr_engine.Persist.close session;
+    E.digest eng
+  in
+  let baseline = run () in
+  Printf.printf "%-12s  %10s  %10s  %12s  %9s  %9s\n" "mode" "run ms"
+    "epochs/s" "journal B" "snapshots" "digest=";
+  let mode name snapshot_every =
+    let digest, d = counted (run ?snapshot_every) in
+    let ms = time_ms (fun () -> ignore (run ?snapshot_every ())) in
+    let journal_bytes = delta d "store.journal.bytes" in
+    let snaps = delta d "store.snapshot.writes" in
+    Printf.printf "%-12s  %10.1f  %10.2f  %12d  %9d  %9b\n%!" name ms
+      (float_of_int epochs *. 1000.0 /. ms)
+      journal_bytes snaps (digest = baseline);
+    assert (digest = baseline);
+    J.Obj
+      [
+        ("mode", J.String name);
+        ("ms_per_run", J.Float ms);
+        ("epochs_per_s", J.Float (float_of_int epochs *. 1000.0 /. ms));
+        ("journal_bytes", J.Int journal_bytes);
+        ("journal_appends", J.Int (delta d "store.journal.appends"));
+        ("snapshot_writes", J.Int snaps);
+        ("replay_frames", J.Int (delta d "store.replay.frames"));
+        ("digest_matches_off", J.Bool (digest = baseline));
+      ]
+  in
+  let rows =
+    (* bind in sequence: list-literal element order of evaluation is
+       unspecified, and the table should print top-to-bottom *)
+    let off = mode "off" None in
+    let every_epoch = mode "every-epoch" (Some 1) in
+    let every_5 = mode "every-5" (Some 5) in
+    [ off; every_epoch; every_5 ]
+  in
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  J.Obj
+    [
+      ("ases", J.Int (List.length ases));
+      ("epochs", J.Int epochs);
+      ("turnover", J.Float turnover);
+      ("digest", J.String baseline);
+      ("modes", J.List rows);
+    ]
+
 (* ---- Bechamel: one Test.make per experiment ------------------------------------- *)
 
 let bechamel_tests () =
@@ -955,6 +1064,7 @@ let () =
       ("e9_online_throughput", e9);
       ("e10_faulty_network", e10);
       ("e11_engine", e11);
+      ("e12_durable_store", e12);
       ("bechamel", run_bechamel);
     ]
   in
@@ -973,9 +1083,10 @@ let () =
             Obs.Snapshot.to_json (Obs.Snapshot.capture ()) );
         ])
   in
-  Out_channel.with_open_text bench_json_path (fun oc ->
-      output_string oc (J.to_string doc);
-      output_char oc '\n');
+  (* Atomic temp-file-then-rename: an interrupted bench can never leave a
+     torn BENCH_pvr.json behind. *)
+  Pvr_store.Atomic_file.write ~fsync:false bench_json_path
+    (J.to_string doc ^ "\n");
   print_newline ();
   Printf.printf
     "All experiments completed; machine-readable results written to %s.\n"

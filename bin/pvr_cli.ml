@@ -3,7 +3,13 @@
      pvr round --behaviour false-bits -k 8     run one Figure-1 round
      pvr check <config-file>                   parse + static-check a policy
      pvr topology --tiers 2,4,8                BGP convergence statistics
-     pvr primitives                            crypto primitive timings *)
+     pvr primitives                            crypto primitive timings
+     pvr engine --checkpoint DIR --resume      durable continuous verification
+     pvr crashsoak --seed 42                   kill/resume crash-recovery soak
+
+   Exit codes (engine, soak, crashsoak): 0 success, 1 property violation
+   (conviction of an honest prover, soak violation, digest divergence),
+   2 usage error, 3 unrecoverable store. *)
 
 module P = Pvr
 module G = Pvr_bgp
@@ -46,8 +52,8 @@ let behaviour_conv =
   Cmdliner.Arg.conv (parse, print)
 
 let run_round behaviour k bits seed dump_evidence stats =
-  let failed = ref false in
   with_stats stats (fun () ->
+  let failed = ref false in
   let rng = C.Drbg.of_int_seed seed in
   let a = asn 1 and b = asn 100 in
   let providers = List.init k (fun i -> asn (10 + i)) in
@@ -81,8 +87,8 @@ let run_round behaviour k bits seed dump_evidence stats =
           (String.sub (P.Evidence_codec.to_hex e) 0
              (min 96 (String.length (P.Evidence_codec.to_hex e)))))
     r.P.Runner.judged;
-  if behaviour = P.Adversary.Honest && r.P.Runner.detected then failed := true);
-  if !failed then exit 1
+  if behaviour = P.Adversary.Honest && r.P.Runner.detected then failed := true;
+  if !failed then 1 else 0)
 
 (* ---- soak ------------------------------------------------------------------- *)
 
@@ -93,7 +99,6 @@ let run_round behaviour k bits seed dump_evidence stats =
    (Detection/Evidence).  All randomness derives from --seed, so the output
    is byte-identical across runs with the same arguments. *)
 let run_soak seed rounds k bits drop duplicate delay reorder budget stats =
-  let failed = ref false in
   with_stats stats (fun () ->
       let master = C.Drbg.of_int_seed seed in
       let a = asn 1 and b = asn 100 in
@@ -179,8 +184,7 @@ let run_soak seed rounds k bits drop duplicate delay reorder budget stats =
          drops=%d violations=%d\n"
         (rounds * List.length P.Adversary.all)
         !required !retries !timeouts !drops !violations;
-      if !violations > 0 then failed := true);
-  if !failed then exit 1
+      if !violations > 0 then 1 else 0)
 
 (* ---- engine ----------------------------------------------------------------- *)
 
@@ -188,64 +192,413 @@ let run_soak seed rounds k bits drop duplicate delay reorder budget stats =
    every promising AS re-verified each epoch by the incremental engine.
    Same determinism contract as soak — everything derives from --seed — plus
    the engine's own: the digest is identical for any --jobs value and for
-   the cache on or off. *)
-let run_engine seed tiers peering epochs jobs bits cache salt_every turnover
-    origins prefixes_per_origin anycast drop stats =
-  let failed = ref false in
-  with_stats stats (fun () ->
-      let master = C.Drbg.of_int_seed seed in
-      let tiers = List.map int_of_string (String.split_on_char ',' tiers) in
-      let topo =
-        G.Topology.hierarchy
-          (C.Drbg.split master "topology")
-          ~tiers ~extra_peering:peering
+   the cache on or off.  With --checkpoint the run journals every epoch and
+   snapshots on a cadence, and --resume continues a crashed run. *)
+
+type eparams = {
+  p_seed : int;
+  p_tiers : string;
+  p_peering : float;
+  p_epochs : int;
+  p_jobs : int;
+  p_bits : int;
+  p_cache : bool;
+  p_salt_every : int;
+  p_turnover : float;
+  p_origins : int;
+  p_ppo : int;
+  p_anycast : int;
+  p_drop : float;
+}
+
+type world = {
+  w_topo : G.Topology.t;
+  w_keyring : P.Keyring.t;
+  w_churn : G.Update_gen.Churn.t;
+  w_churn_rng : C.Drbg.t;
+  w_engine_rng : C.Drbg.t;
+}
+
+(* Deterministic world construction.  The split order on the master DRBG —
+   "topology", "keys", "churn", "engine" — is part of the on-disk contract:
+   a resumed run replays the same streams, so it must never change. *)
+let build_world ?(quiet = false) p =
+  let master = C.Drbg.of_int_seed p.p_seed in
+  let tiers = List.map int_of_string (String.split_on_char ',' p.p_tiers) in
+  let topo =
+    G.Topology.hierarchy
+      (C.Drbg.split master "topology")
+      ~tiers ~extra_peering:p.p_peering
+  in
+  let ases = G.Topology.ases topo in
+  if not quiet then begin
+    Printf.printf
+      "engine: %d ASes, %d links; seed=%d epochs=%d jobs=%d cache=%b \
+       salt_every=%d turnover=%.2f\n%!"
+      (G.Topology.size topo)
+      (List.length (G.Topology.links topo))
+      p.p_seed p.p_epochs p.p_jobs p.p_cache p.p_salt_every p.p_turnover;
+    Printf.printf "Generating %d RSA-%d keys...\n%!" (List.length ases) p.p_bits
+  end;
+  let keyring =
+    P.Keyring.create ~bits:p.p_bits (C.Drbg.split master "keys") ases
+  in
+  (* Churn origins: the highest-numbered (bottom-tier) ASes. *)
+  let origin_list =
+    let sorted = List.sort (fun a b -> G.Asn.compare b a) ases in
+    List.filteri (fun i _ -> i < p.p_origins) sorted |> List.rev
+  in
+  let churn =
+    G.Update_gen.Churn.create ~anycast:p.p_anycast ~origins:origin_list
+      ~prefixes_per_origin:p.p_ppo ()
+  in
+  let churn_rng = C.Drbg.split master "churn" in
+  let engine_rng = C.Drbg.split master "engine" in
+  {
+    w_topo = topo;
+    w_keyring = keyring;
+    w_churn = churn;
+    w_churn_rng = churn_rng;
+    w_engine_rng = engine_rng;
+  }
+
+(* One engine run over a pre-built world.  [on_phase ~epoch phase] fires at
+   the epoch's internal barriers ("apply"/"collect"/"verify") and after the
+   journal write ("record") — the crash-soak kill hook.  Returns the final
+   digest and total convictions, or [Error] when the checkpoint store is
+   unrecoverable. *)
+let engine_core ?(quiet = false) ?(on_phase = fun ~epoch:_ (_ : string) -> ())
+    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 1) ?(fsync = true)
+    world p =
+  let sim = G.Simulator.create world.w_topo in
+  let faults =
+    if p.p_drop > 0.0 then
+      Some
+        {
+          P.Runner.perfect_faults with
+          fp_policy = Pvr_net.faulty ~drop:p.p_drop ();
+        }
+    else None
+  in
+  let eng =
+    Pvr_engine.Engine.create ~jobs:p.p_jobs ~cache:p.p_cache
+      ~salt_every:p.p_salt_every ?faults world.w_engine_rng world.w_keyring
+      ~topology:world.w_topo ~sim ()
+  in
+  let apply ~epoch sim =
+    if epoch = 1 then List.length (G.Update_gen.Churn.seed world.w_churn sim)
+    else
+      List.length
+        (G.Update_gen.Churn.step world.w_churn_rng ~turnover:p.p_turnover
+           world.w_churn sim)
+  in
+  let start =
+    match checkpoint_dir with
+    | None -> Ok 0
+    | Some dir ->
+        if resume then
+          match Pvr_engine.Persist.resume ~quiet ~dir ~engine:eng ~apply () with
+          | Ok rs ->
+              if not quiet then
+                Printf.printf
+                  "resumed: epoch=%d snapshot=%d replayed=%d dropped=%d\n%!"
+                  rs.Pvr_engine.Persist.rs_epoch rs.rs_snapshot_epoch
+                  rs.rs_replayed rs.rs_dropped;
+              Ok rs.Pvr_engine.Persist.rs_epoch
+          | Error e -> Error e
+        else begin
+          Pvr_store.Store.reset ~dir;
+          Ok 0
+        end
+  in
+  match start with
+  | Error e -> Error e
+  | Ok start ->
+      let session =
+        Option.map
+          (fun dir ->
+            Pvr_engine.Persist.start ~fsync ~snapshot_every:checkpoint_every
+              ~dir ())
+          checkpoint_dir
       in
-      let ases = G.Topology.ases topo in
-      Printf.printf
-        "engine: %d ASes, %d links; seed=%d epochs=%d jobs=%d cache=%b \
-         salt_every=%d turnover=%.2f\n%!"
-        (G.Topology.size topo)
-        (List.length (G.Topology.links topo))
-        seed epochs jobs cache salt_every turnover;
-      Printf.printf "Generating %d RSA-%d keys...\n%!" (List.length ases) bits;
-      let keyring = P.Keyring.create ~bits (C.Drbg.split master "keys") ases in
-      let sim = G.Simulator.create topo in
-      (* Churn origins: the highest-numbered (bottom-tier) ASes. *)
-      let origin_list =
-        let sorted = List.sort (fun a b -> G.Asn.compare b a) ases in
-        List.filteri (fun i _ -> i < origins) sorted |> List.rev
-      in
-      let churn =
-        G.Update_gen.Churn.create ~anycast ~origins:origin_list
-          ~prefixes_per_origin ()
-      in
-      let churn_rng = C.Drbg.split master "churn" in
-      let faults =
-        if drop > 0.0 then
-          Some
-            {
-              P.Runner.perfect_faults with
-              fp_policy = Pvr_net.faulty ~drop ();
-            }
-        else None
-      in
-      let eng =
-        Pvr_engine.Engine.create ~jobs ~cache ~salt_every ?faults
-          (C.Drbg.split master "engine")
-          keyring ~topology:topo ~sim ()
-      in
-      for i = 1 to epochs do
-        let apply sim =
-          if i = 1 then List.length (G.Update_gen.Churn.seed churn sim)
-          else
-            List.length (G.Update_gen.Churn.step churn_rng ~turnover churn sim)
+      let convicted = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Pvr_engine.Persist.close session)
+        (fun () ->
+          for i = start + 1 to p.p_epochs do
+            let r =
+              Pvr_engine.Engine.epoch ~apply:(apply ~epoch:i)
+                ~on_phase:(fun ph -> on_phase ~epoch:i ph)
+                eng
+            in
+            if not quiet then print_endline (Pvr_engine.Engine.report_line r);
+            Option.iter
+              (fun s ->
+                Pvr_engine.Persist.record s eng r;
+                on_phase ~epoch:i "record")
+              session;
+            convicted := !convicted + r.Pvr_engine.Engine.ep_convicted
+          done);
+      Ok (Pvr_engine.Engine.digest eng, !convicted)
+
+let run_engine p checkpoint resume checkpoint_every no_fsync report stats =
+  if resume && checkpoint = None then begin
+    Printf.eprintf "pvr engine: --resume requires --checkpoint DIR\n%!";
+    2
+  end
+  else
+    with_stats stats (fun () ->
+        let world = build_world p in
+        match
+          engine_core ?checkpoint_dir:checkpoint ~resume ~checkpoint_every
+            ~fsync:(not no_fsync) world p
+        with
+        | Error e ->
+            Printf.eprintf "pvr engine: unrecoverable store: %s\n%!" e;
+            3
+        | Ok (digest, convicted) ->
+            Printf.printf "engine digest: %s\n" digest;
+            Option.iter
+              (fun file ->
+                Pvr_store.Atomic_file.write ~fsync:false file
+                  (Printf.sprintf
+                     "{ \"seed\": %d, \"epochs\": %d, \"jobs\": %d, \"cache\": \
+                      %b, \"convicted\": %d, \"digest\": \"%s\" }\n"
+                     p.p_seed p.p_epochs p.p_jobs p.p_cache convicted digest))
+              report;
+            if convicted > 0 then 1 else 0)
+
+(* ---- crashsoak -------------------------------------------------------------- *)
+
+(* Crash-recovery soak: run the checkpointed engine in forked children,
+   SIGKILL each child at a seeded (epoch, phase) point, optionally corrupt
+   the store between restarts, resume, and finally compare the recovered
+   digest against an uninterrupted in-process run of the same seed.  The
+   kill/corruption schedule derives from --seed via an independent DRBG
+   stream, so failures reproduce exactly. *)
+
+exception Crashsoak_abort of int
+
+let phases = [| "apply"; "collect"; "verify"; "record" |]
+
+(* [kills] distinct kill epochs in 1..epochs (partial Fisher-Yates), each
+   with a random phase; sorted so each restart makes forward progress. *)
+let kill_schedule rng ~epochs ~kills =
+  let pool = Array.init epochs (fun i -> i + 1) in
+  for i = 0 to kills - 1 do
+    let j = i + C.Drbg.uniform_int rng (epochs - i) in
+    let t = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- t
+  done;
+  Array.sub pool 0 kills |> Array.to_list |> List.sort compare
+  |> List.map (fun e -> (e, phases.(C.Drbg.uniform_int rng (Array.length phases))))
+
+let flip_byte rng path what =
+  try
+    let len = (Unix.stat path).Unix.st_size in
+    if len > 0 then begin
+      let off = C.Drbg.uniform_int rng len in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          if Unix.read fd b 0 1 = 1 then begin
+            Bytes.set b 0
+              (Char.chr
+                 (Char.code (Bytes.get b 0) lxor (1 lsl C.Drbg.uniform_int rng 8)));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1)
+          end);
+      Printf.printf "crashsoak: corrupted %s (bit flip at offset %d)\n%!" what
+        off
+    end
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let inject_corruption rng dir =
+  let journal = Pvr_store.Store.journal_path ~dir in
+  match C.Drbg.uniform_int rng 4 with
+  | 0 -> (
+      (* Tear the journal tail, as an interrupted write would. *)
+      try
+        let len = (Unix.stat journal).Unix.st_size in
+        if len > 0 then begin
+          let cut = 1 + C.Drbg.uniform_int rng (min 24 len) in
+          let fd = Unix.openfile journal [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd (len - cut);
+          Unix.close fd;
+          Printf.printf "crashsoak: corrupted journal (tore %d tail bytes)\n%!"
+            cut
+        end
+      with Unix.Unix_error _ | Sys_error _ -> ())
+  | 1 -> flip_byte rng journal "journal"
+  | 2 -> (
+      (* Append garbage after the last frame. *)
+      try
+        let n = 1 + C.Drbg.uniform_int rng 16 in
+        let junk =
+          String.init n (fun _ -> Char.chr (C.Drbg.uniform_int rng 256))
         in
-        let r = Pvr_engine.Engine.epoch ~apply eng in
-        print_endline (Pvr_engine.Engine.report_line r);
-        if r.Pvr_engine.Engine.ep_convicted > 0 then failed := true
-      done;
-      Printf.printf "engine digest: %s\n" (Pvr_engine.Engine.digest eng));
-  if !failed then exit 1
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 journal
+        in
+        output_string oc junk;
+        close_out oc;
+        Printf.printf "crashsoak: corrupted journal (%d garbage bytes)\n%!" n
+      with Sys_error _ -> ())
+  | _ -> (
+      (* Flip a byte in the newest snapshot, if any. *)
+      match
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 9
+               && String.sub f 0 5 = "snap-"
+               && Filename.check_suffix f ".pvrs")
+        |> List.sort (fun a b -> compare b a)
+      with
+      | newest :: _ -> flip_byte rng (Filename.concat dir newest) "snapshot"
+      | [] -> flip_byte rng journal "journal"
+      | exception Sys_error _ -> ())
+
+let run_crashsoak p kills checkpoint_every dir_opt no_corrupt keep stats =
+  if kills > p.p_epochs then begin
+    Printf.eprintf "pvr crashsoak: --kills (%d) must be <= --epochs (%d)\n%!"
+      kills p.p_epochs;
+    2
+  end
+  else
+    with_stats stats (fun () ->
+        let dir =
+          match dir_opt with
+          | Some d -> d
+          | None ->
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "pvr-crashsoak-%d" (Unix.getpid ()))
+        in
+        Pvr_store.Store.reset ~dir;
+        let sched = C.Drbg.split (C.Drbg.of_int_seed p.p_seed) "crashsoak" in
+        let points = kill_schedule sched ~epochs:p.p_epochs ~kills in
+        Printf.printf "crashsoak: seed=%d dir=%s kill schedule: %s\n%!" p.p_seed
+          dir
+          (String.concat ", "
+             (List.map (fun (e, ph) -> Printf.sprintf "%d/%s" e ph) points));
+        let world = build_world p in
+        (* Children fork with pristine copies of the world's DRBGs and churn
+           state, so every restart replays the exact streams a fresh
+           `pvr engine --seed S` would see. *)
+        let run_child point =
+          flush stdout;
+          flush stderr;
+          match Unix.fork () with
+          | 0 ->
+              let code =
+                try
+                  let on_phase =
+                    match point with
+                    | None -> fun ~epoch:_ (_ : string) -> ()
+                    | Some (ke, kph) ->
+                        fun ~epoch ph ->
+                          if epoch = ke && ph = kph then
+                            Unix.kill (Unix.getpid ()) Sys.sigkill
+                  in
+                  match
+                    engine_core ~quiet:true ~on_phase ~checkpoint_dir:dir
+                      ~resume:true ~checkpoint_every ~fsync:true world p
+                  with
+                  | Ok (_, convicted) -> if convicted > 0 then 1 else 0
+                  | Error _ -> 3
+                with _ -> 125
+              in
+              Unix._exit code
+          | pid ->
+              let _, status = Unix.waitpid [] pid in
+              status
+        in
+        let code =
+          try
+            List.iteri
+              (fun i (ke, kph) ->
+                Printf.printf "crashsoak: run %d/%d — kill at epoch=%d phase=%s\n%!"
+                  (i + 1) (kills + 1) ke kph;
+                (match run_child (Some (ke, kph)) with
+                | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+                | Unix.WEXITED 3 ->
+                    Printf.eprintf "crashsoak: child found the store unrecoverable\n%!";
+                    raise (Crashsoak_abort 3)
+                | Unix.WEXITED c ->
+                    Printf.printf
+                      "crashsoak: child finished (exit %d) before its kill point\n%!"
+                      c
+                | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+                    Printf.eprintf "crashsoak: child died unexpectedly (signal %d)\n%!" s;
+                    raise (Crashsoak_abort 3));
+                if not no_corrupt then inject_corruption sched dir)
+              points;
+            Printf.printf "crashsoak: run %d/%d — final resume to completion\n%!"
+              (kills + 1) (kills + 1);
+            (match run_child None with
+            | Unix.WEXITED 0 -> ()
+            | Unix.WEXITED 1 -> raise (Crashsoak_abort 1)
+            | _ -> raise (Crashsoak_abort 3));
+            (* Recovered digest: the highest-epoch journal frame. *)
+            let rc = Pvr_store.Store.recover ~quiet:true ~dir () in
+            let final =
+              List.fold_left
+                (fun acc payload ->
+                  match Pvr_engine.Persist.decode_epoch payload with
+                  | Ok er -> (
+                      match acc with
+                      | Some best
+                        when best.Pvr_engine.Persist.er_epoch >= er.er_epoch ->
+                          acc
+                      | _ -> Some er)
+                  | Error _ -> acc)
+                None rc.Pvr_store.Store.rc_frames
+            in
+            match final with
+            | None ->
+                Printf.eprintf "crashsoak: no recoverable final epoch in %s\n%!"
+                  dir;
+                3
+            | Some er when er.Pvr_engine.Persist.er_epoch <> p.p_epochs ->
+                Printf.eprintf
+                  "crashsoak: recovered run stops at epoch %d, expected %d\n%!"
+                  er.Pvr_engine.Persist.er_epoch p.p_epochs;
+                3
+            | Some er -> (
+                (* Uninterrupted reference run, same seed, in-process. *)
+                let world2 = build_world ~quiet:true p in
+                match engine_core ~quiet:true world2 p with
+                | Error e ->
+                    Printf.eprintf "crashsoak: reference run failed: %s\n%!" e;
+                    3
+                | Ok (clean, _) ->
+                    if clean = er.Pvr_engine.Persist.er_digest then begin
+                      Printf.printf
+                        "crashsoak: OK — digest %s identical after %d kills \
+                         and resumes\n"
+                        clean kills;
+                      0
+                    end
+                    else begin
+                      Printf.printf
+                        "crashsoak: DIGEST DIVERGENCE recovered=%s clean=%s\n"
+                        er.Pvr_engine.Persist.er_digest clean;
+                      1
+                    end)
+          with Crashsoak_abort c -> c
+        in
+        if code = 0 && dir_opt = None && not keep then
+          (try
+             Array.iter
+               (fun f -> Sys.remove (Filename.concat dir f))
+               (Sys.readdir dir);
+             Unix.rmdir dir
+           with Sys_error _ | Unix.Unix_error _ -> ());
+        code)
 
 (* ---- check ----------------------------------------------------------------- *)
 
@@ -254,7 +607,7 @@ let run_check file =
   match R.Compiler.parse src with
   | Error e ->
       Format.eprintf "%s: %a@." file R.Compiler.pp_error e;
-      exit 1
+      1
   | Ok config ->
       Format.printf "parsed policy for %a: %d promises@." G.Asn.pp
         config.R.Compiler.owner
@@ -276,7 +629,8 @@ let run_check file =
                  (List.map
                     (Format.asprintf "%a" R.Static_check.pp_issue)
                     issues)))
-        (R.Compiler.compile config ~neighbors)
+        (R.Compiler.compile config ~neighbors);
+      0
 
 (* ---- topology --------------------------------------------------------------- *)
 
@@ -299,7 +653,8 @@ let run_topology tiers peering seed stats =
          (G.Topology.ases topo))
   in
   Printf.printf "converged in %d messages; %d/%d ASes reach %s's prefix\n" msgs
-    reached (G.Topology.size topo) (G.Asn.to_string origin)
+    reached (G.Topology.size topo) (G.Asn.to_string origin);
+  0
 
 (* ---- primitives ------------------------------------------------------------- *)
 
@@ -324,7 +679,8 @@ let run_primitives bits stats =
     (time_ms (fun () -> C.Rsa.sign key "payload"));
   let s = C.Rsa.sign key "payload" in
   Printf.printf "rsa verify   : %.4f ms\n"
-    (time_ms (fun () -> C.Rsa.verify key.C.Rsa.pub ~msg:"payload" ~signature:s))
+    (time_ms (fun () -> C.Rsa.verify key.C.Rsa.pub ~msg:"payload" ~signature:s));
+  0
 
 (* ---- cmdliner wiring ----------------------------------------------------------- *)
 
@@ -399,7 +755,9 @@ let soak_cmd =
       const run_soak $ seed $ rounds $ k $ bits $ drop $ duplicate $ delay
       $ reorder $ budget $ stats_arg)
 
-let engine_cmd =
+(* Engine/crashsoak share the run parameters: both must derive the exact
+   same world from --seed for digests to be comparable. *)
+let eparams_term =
   let seed =
     Arg.(
       value & opt int 42
@@ -473,16 +831,138 @@ let engine_cmd =
             "Per-message drop probability; non-zero routes every round \
              through the fault-injected network.")
   in
+  let make p_seed p_tiers p_peering p_epochs p_jobs p_bits p_cache p_salt_every
+      p_turnover p_origins p_ppo p_anycast p_drop =
+    {
+      p_seed;
+      p_tiers;
+      p_peering;
+      p_epochs;
+      p_jobs;
+      p_bits;
+      p_cache;
+      p_salt_every;
+      p_turnover;
+      p_origins;
+      p_ppo;
+      p_anycast;
+      p_drop;
+    }
+  in
+  Term.(
+    const make $ seed $ tiers $ peering $ epochs $ jobs $ bits $ cache
+    $ salt_every $ turnover $ origins $ prefixes_per_origin $ anycast $ drop)
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ]
+        ~doc:
+          "Epochs between full snapshots; the journal is still written \
+           every epoch.  0 disables snapshots (resume replays the churn \
+           stream from epoch 1).")
+
+let engine_cmd =
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Durable store directory: journal every epoch into \
+             $(docv)/journal.pvrj and snapshot on the \
+             $(b,--checkpoint-every) cadence.  Without $(b,--resume) any \
+             existing store in $(docv) is reset.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover the store in $(b,--checkpoint) (truncating torn \
+             frames, skipping corrupt snapshots), replay to the newest \
+             durable epoch and continue from there.  Exits 3 when the \
+             store belongs to a different run or cannot be validated.")
+  in
+  let no_fsync =
+    Arg.(
+      value & flag
+      & info [ "no-fsync" ]
+          ~doc:
+            "Skip fsync barriers on journal appends and snapshot renames \
+             (framing and recovery still work; durability is best-effort).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Atomically write a one-line JSON run report (seed, epochs, \
+             convictions, digest) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "engine"
        ~doc:
          "Continuously verify every promising AS of a churning topology \
           with the incremental multi-domain engine; exits non-zero if any \
-          honest prover is convicted.")
+          honest prover is convicted.  With --checkpoint/--resume the run \
+          is crash-tolerant: it journals every epoch and can continue \
+          after being killed, reproducing the exact digest of an \
+          uninterrupted run.")
     Term.(
-      const run_engine $ seed $ tiers $ peering $ epochs $ jobs $ bits $ cache
-      $ salt_every $ turnover $ origins $ prefixes_per_origin $ anycast $ drop
-      $ stats_arg)
+      const run_engine $ eparams_term $ checkpoint $ resume
+      $ checkpoint_every_arg $ no_fsync $ report $ stats_arg)
+
+let crashsoak_cmd =
+  let kills =
+    Arg.(
+      value & opt int 3
+      & info [ "kills" ]
+          ~doc:
+            "Distinct seeded kill points (epoch, phase); must not exceed \
+             $(b,--epochs).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 2
+      & info [ "checkpoint-every" ]
+          ~doc:
+            "Epochs between snapshots in the children's store — 2 by \
+             default so resume exercises both the snapshot restore and the \
+             journal fast-forward paths.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Store directory (default: a fresh directory under the system \
+             temp dir, removed on success).")
+  in
+  let no_corrupt =
+    Arg.(
+      value & flag
+      & info [ "no-corrupt" ]
+          ~doc:"Do not inject store corruption between restarts.")
+  in
+  let keep =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"Keep the store directory even on success.")
+  in
+  Cmd.v
+    (Cmd.info "crashsoak"
+       ~doc:
+         "Crash-recovery soak: fork the checkpointed engine, SIGKILL it at \
+          seeded mid-epoch points, corrupt the store between restarts, \
+          resume, and require the recovered digest to be byte-identical to \
+          an uninterrupted run.  Exits 1 on digest divergence, 3 on an \
+          unrecoverable store.")
+    Term.(
+      const run_crashsoak $ eparams_term $ kills $ checkpoint_every $ dir
+      $ no_corrupt $ keep $ stats_arg)
 
 let check_cmd =
   let file =
@@ -517,14 +997,23 @@ let () =
     Cmd.info "pvr" ~version:"1.0.0"
       ~doc:"Private and verifiable interdomain routing (HotNets-X 2011)"
   in
+  let group =
+    Cmd.group info
+      [
+        round_cmd;
+        soak_cmd;
+        engine_cmd;
+        crashsoak_cmd;
+        check_cmd;
+        topology_cmd;
+        primitives_cmd;
+      ]
+  in
+  (* Uniform exit codes: 0 success, 1 property violation, 2 usage error,
+     3 unrecoverable store, 125 internal error. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            round_cmd;
-            soak_cmd;
-            engine_cmd;
-            check_cmd;
-            topology_cmd;
-            primitives_cmd;
-          ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error `Parse | Error `Term -> 2
+    | Error `Exn -> 125)

@@ -134,3 +134,18 @@ let digest s =
   finalize ctx
 
 let digest_hex s = Hex.encode (digest s)
+
+(* Digest-of-state helper: each part is fed length-framed, so the digest
+   is unambiguous under concatenation — ["ab"; "c"] and ["a"; "bc"] hash
+   differently.  The engine uses this to fingerprint simulator RIB state
+   for checkpoint validation. *)
+let digest_parts parts =
+  let ctx = init () in
+  List.iter
+    (fun p ->
+      update ctx (Bytes_util.be64 (Int64.of_int (String.length p)));
+      update ctx p)
+    parts;
+  finalize ctx
+
+let digest_parts_hex parts = Hex.encode (digest_parts parts)

@@ -23,6 +23,14 @@ val digest : string -> string
 val digest_hex : string -> string
 (** One-shot hash, hex-encoded (64 characters). *)
 
+val digest_parts : string list -> string
+(** Digest-of-state helper: hash every part length-framed (8-byte
+    big-endian length before each part), so distinct splits of the same
+    bytes produce distinct digests.  Raw 32-byte output. *)
+
+val digest_parts_hex : string list -> string
+(** {!digest_parts}, hex-encoded. *)
+
 val digest_size : int
 (** 32. *)
 

@@ -53,8 +53,12 @@ type snapshot = {
   sn_export : Bgp.Route.t; (* unprepended; equals one input route *)
 }
 
+(* Vertex carry-forward state is keyed by the snapshot digest rather than
+   the snapshot itself: digest equality is what the clean-skip test needs,
+   and a digest (unlike route lists and memo tables) survives a trip
+   through the checkpoint store byte-for-byte. *)
 type vstate = {
-  mutable vs_snapshot : snapshot;
+  mutable vs_digest : string; (* snapshot_digest of the last verified state *)
   mutable vs_period : int;
   mutable vs_outcome : outcome;
   mutable vs_cache : vcache;
@@ -123,13 +127,6 @@ let fresh_vcache t ~period =
     cmt_memo = Hashtbl.create 8;
     exp_memo = Hashtbl.create 8;
   }
-
-let snapshot_equal a b =
-  Bgp.Asn.equal a.sn_beneficiary b.sn_beneficiary
-  && Bgp.Route.equal a.sn_export b.sn_export
-  && List.equal
-       (fun (n, r) (m, s) -> Bgp.Asn.equal n m && Bgp.Route.equal r s)
-       a.sn_inputs b.sn_inputs
 
 let snapshot_digest sn =
   C.Sha256.digest_hex
@@ -420,34 +417,37 @@ let report_line r =
     r.ep_epoch r.ep_period r.ep_changes r.ep_msgs r.ep_vertices r.ep_dirty
     r.ep_skipped r.ep_detected r.ep_convicted r.ep_digest
 
-let epoch ?(apply = fun _ -> 0) t =
+let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
   Pvr_obs.with_span "engine.epoch" @@ fun () ->
   t.epoch_no <- t.epoch_no + 1;
   let period = (t.epoch_no - 1) / t.salt_every in
   let wire_epoch = period + 1 in
   let changes = apply t.sim in
   let msgs = Bgp.Simulator.run t.sim in
+  on_phase "apply";
   let snapshots = collect t in
+  on_phase "collect";
   let classified =
     List.map
       (fun sn ->
+        let dg = snapshot_digest sn in
         match Hashtbl.find_opt t.states (vertex_key sn.sn_vertex) with
-        | Some vs
-          when t.cache && vs.vs_period = period
-               && snapshot_equal vs.vs_snapshot sn ->
+        | Some vs when t.cache && vs.vs_period = period && vs.vs_digest = dg
+          ->
             `Clean (sn, vs)
-        | prev -> `Dirty (sn, prev))
+        | prev -> `Dirty (sn, dg, prev))
       snapshots
   in
   let dirty =
     List.filter_map
-      (function `Dirty (sn, prev) -> Some (sn, prev) | `Clean _ -> None)
+      (function
+        | `Dirty (sn, dg, prev) -> Some (sn, dg, prev) | `Clean _ -> None)
       classified
   in
   let caches =
     Array.of_list
       (List.map
-         (fun (_, prev) ->
+         (fun (_, _, prev) ->
            match prev with
            | Some vs when t.cache && vs.vs_period = period -> vs.vs_cache
            | _ -> fresh_vcache t ~period)
@@ -455,9 +455,11 @@ let epoch ?(apply = fun _ -> 0) t =
   in
   let tasks =
     Array.of_list dirty
-    |> Array.mapi (fun i (sn, _) -> fun () -> run_round t ~wire_epoch caches.(i) sn)
+    |> Array.mapi (fun i (sn, _, _) ->
+           fun () -> run_round t ~wire_epoch caches.(i) sn)
   in
   let results = Pool.run ~jobs:t.jobs tasks in
+  on_phase "verify";
   (* Merge back in vertex order; record fresh state for recomputed vertices,
      carry the previous outcome for clean ones. *)
   let i = ref 0 in
@@ -466,21 +468,21 @@ let epoch ?(apply = fun _ -> 0) t =
       (function
         | `Clean ((_ : snapshot), vs) ->
             { vs.vs_outcome with vx_recomputed = false }
-        | `Dirty (sn, prev) ->
+        | `Dirty (sn, dg, prev) ->
             let k = !i in
             incr i;
             let outcome = results.(k) in
             let vc = caches.(k) in
             (match prev with
             | Some vs ->
-                vs.vs_snapshot <- sn;
+                vs.vs_digest <- dg;
                 vs.vs_period <- period;
                 vs.vs_outcome <- outcome;
                 vs.vs_cache <- vc
             | None ->
                 Hashtbl.replace t.states (vertex_key sn.sn_vertex)
                   {
-                    vs_snapshot = sn;
+                    vs_digest = dg;
                     vs_period = period;
                     vs_outcome = outcome;
                     vs_cache = vc;
@@ -541,3 +543,225 @@ let epoch ?(apply = fun _ -> 0) t =
     ep_outcomes = outcomes;
     ep_digest = t.chain;
   }
+
+(* ---- checkpoint / resume --------------------------------------------------- *)
+
+(* Fast-forward: apply the epoch's update batch and converge the simulator
+   without verifying anything.  Resume replays the (deterministic) churn
+   stream through this to rebuild RIB state cheaply — no crypto, no DRBG
+   draws from the engine's own machinery. *)
+let skip_epoch ?(apply = fun _ -> 0) t =
+  t.epoch_no <- t.epoch_no + 1;
+  let changes = apply t.sim in
+  let msgs = Bgp.Simulator.run t.sim in
+  (changes, msgs)
+
+(* Canonical fingerprint of the entire simulator state the engine can see:
+   per AS (sorted), per prefix (sorted), the Loc-RIB best route and the
+   per-neighbor Adj-RIB-In/Out entries.  Length-framed so field boundaries
+   cannot alias. *)
+let rib_digest t =
+  let parts = ref [] in
+  let add s = parts := s :: !parts in
+  List.iter
+    (fun asn ->
+      add ("as:" ^ Bgp.Asn.to_string asn);
+      let rib = Bgp.Simulator.rib t.sim asn in
+      let neighbors =
+        List.map fst (Bgp.Topology.neighbors t.topo asn)
+        |> List.sort Bgp.Asn.compare
+      in
+      List.iter
+        (fun p ->
+          add ("p:" ^ Bgp.Prefix.to_string p);
+          (match Bgp.Rib.get_best rib p with
+          | Some r -> add ("b:" ^ Bgp.Route.encode r)
+          | None -> ());
+          List.iter
+            (fun n ->
+              (match Bgp.Rib.get_in rib ~neighbor:n p with
+              | Some r ->
+                  add ("i:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Route.encode r)
+              | None -> ());
+              match Bgp.Rib.get_out rib ~neighbor:n p with
+              | Some r ->
+                  add ("o:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Route.encode r)
+              | None -> ())
+            neighbors)
+        (List.sort Bgp.Prefix.compare (Bgp.Rib.prefixes rib)))
+    t.ases;
+  C.Sha256.digest_parts_hex (List.rev !parts)
+
+module Checkpoint = struct
+  module Codec = Pvr_store.Codec
+
+  type info = {
+    ck_epoch : int;
+    ck_chain : string;
+    ck_run_id : string;
+    ck_rib : string;
+    ck_states : int;
+  }
+
+  let ck_version = 1
+  let run_id t = C.Sha256.digest_hex ("pvr-engine-run-id|" ^ t.secret)
+
+  type state_record = {
+    sr_key : string;
+    sr_period : int;
+    sr_digest : string;
+    sr_prover : int;
+    sr_addr : int;
+    sr_len : int;
+    sr_beneficiary : int;
+    sr_providers : int list;
+    sr_detected : bool;
+    sr_convicted : bool;
+    sr_evidence : int;
+    sr_line : string;
+  }
+
+  let save t =
+    let buf = Buffer.create 4096 in
+    Codec.u32 buf ck_version;
+    Codec.u32 buf t.epoch_no;
+    Codec.str buf t.chain;
+    Codec.str buf (run_id t);
+    Codec.str buf (rib_digest t);
+    let states =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.states []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Codec.u32 buf (List.length states);
+    List.iter
+      (fun (key, vs) ->
+        Codec.str buf key;
+        Codec.u32 buf vs.vs_period;
+        Codec.str buf vs.vs_digest;
+        let o = vs.vs_outcome in
+        Codec.u32 buf (Bgp.Asn.to_int o.vx_vertex.vprover);
+        Codec.u32 buf o.vx_vertex.vprefix.Bgp.Prefix.addr;
+        Codec.u32 buf o.vx_vertex.vprefix.Bgp.Prefix.len;
+        Codec.u32 buf (Bgp.Asn.to_int o.vx_beneficiary);
+        Codec.u32 buf (List.length o.vx_providers);
+        List.iter (fun a -> Codec.u32 buf (Bgp.Asn.to_int a)) o.vx_providers;
+        Codec.bool_ buf o.vx_detected;
+        Codec.bool_ buf o.vx_convicted;
+        Codec.u32 buf o.vx_evidence;
+        Codec.str buf o.vx_line)
+      states;
+    Buffer.contents buf
+
+  let parse blob =
+    Codec.decode blob (fun r ->
+        let v = Codec.get_u32 r in
+        if v <> ck_version then
+          raise (Codec.Malformed ("unsupported checkpoint version "
+                                  ^ string_of_int v));
+        let ck_epoch = Codec.get_u32 r in
+        let ck_chain = Codec.get_str r in
+        let ck_run_id = Codec.get_str r in
+        let ck_rib = Codec.get_str r in
+        let n = Codec.get_u32 r in
+        let states =
+          List.init n (fun _ ->
+              let sr_key = Codec.get_str r in
+              let sr_period = Codec.get_u32 r in
+              let sr_digest = Codec.get_str r in
+              let sr_prover = Codec.get_u32 r in
+              let sr_addr = Codec.get_u32 r in
+              let sr_len = Codec.get_u32 r in
+              let sr_beneficiary = Codec.get_u32 r in
+              let np = Codec.get_u32 r in
+              let sr_providers = List.init np (fun _ -> Codec.get_u32 r) in
+              let sr_detected = Codec.get_bool r in
+              let sr_convicted = Codec.get_bool r in
+              let sr_evidence = Codec.get_u32 r in
+              let sr_line = Codec.get_str r in
+              {
+                sr_key;
+                sr_period;
+                sr_digest;
+                sr_prover;
+                sr_addr;
+                sr_len;
+                sr_beneficiary;
+                sr_providers;
+                sr_detected;
+                sr_convicted;
+                sr_evidence;
+                sr_line;
+              })
+        in
+        ( { ck_epoch; ck_chain; ck_run_id; ck_rib; ck_states = n }, states ))
+
+  let info blob = Result.map fst (parse blob)
+
+  (* Rebuild a vstate from its serialized record.  Memo tables restart
+     empty ([fresh_vcache] at the recorded salt period — the "generation
+     counter"): recomputation is pure, so empty tables cost redundant
+     crypto on the next dirty hit but can never change an outcome.
+     [vx_routes]/[vx_net] are not persisted; a carried-forward outcome
+     only contributes its canonical line to the digest. *)
+  let vstate_of_record t sr =
+    let vertex =
+      {
+        vprover = Bgp.Asn.of_int sr.sr_prover;
+        vprefix = Bgp.Prefix.make ~addr:sr.sr_addr ~len:sr.sr_len;
+      }
+    in
+    {
+      vs_digest = sr.sr_digest;
+      vs_period = sr.sr_period;
+      vs_outcome =
+        {
+          vx_vertex = vertex;
+          vx_beneficiary = Bgp.Asn.of_int sr.sr_beneficiary;
+          vx_providers = List.map Bgp.Asn.of_int sr.sr_providers;
+          vx_routes = [];
+          vx_recomputed = false;
+          vx_detected = sr.sr_detected;
+          vx_convicted = sr.sr_convicted;
+          vx_evidence = sr.sr_evidence;
+          vx_net = None;
+          vx_line = sr.sr_line;
+        };
+      vs_cache = fresh_vcache t ~period:sr.sr_period;
+    }
+
+  let load t blob =
+    match parse blob with
+    | Error e -> Error ("corrupt checkpoint: " ^ e)
+    | Ok (info, records) ->
+        if info.ck_run_id <> run_id t then
+          Error "checkpoint belongs to a different run (seed or parameters)"
+        else if info.ck_epoch <> t.epoch_no then
+          Error
+            (Printf.sprintf
+               "engine fast-forwarded to epoch %d but checkpoint is for \
+                epoch %d"
+               t.epoch_no info.ck_epoch)
+        else if rib_digest t <> info.ck_rib then
+          Error "replayed simulator state diverges from checkpoint RIB digest"
+        else begin
+          Hashtbl.reset t.states;
+          List.iter
+            (fun sr ->
+              Hashtbl.replace t.states sr.sr_key (vstate_of_record t sr))
+            records;
+          t.chain <- info.ck_chain;
+          Ok info
+        end
+
+  let advance t ~epoch ~chain ~rib =
+    if t.epoch_no <> epoch then
+      Error
+        (Printf.sprintf "engine at epoch %d, journal record is for epoch %d"
+           t.epoch_no epoch)
+    else if rib_digest t <> rib then
+      Error "replayed simulator state diverges from journal RIB digest"
+    else begin
+      t.chain <- chain;
+      Ok ()
+    end
+end

@@ -94,11 +94,21 @@ val create :
     DRBG at creation — the engine never touches the generator again, so
     results are independent of later draws from it. *)
 
-val epoch : ?apply:(Bgp.Simulator.t -> int) -> t -> epoch_report
+val epoch :
+  ?apply:(Bgp.Simulator.t -> int) ->
+  ?on_phase:(string -> unit) ->
+  t ->
+  epoch_report
 (** Advance one epoch: [apply] injects this epoch's update batch into the
     simulator and returns its size (default: no changes), then the engine
     converges the simulator and verifies.  Raises whatever a task raised,
-    after the worker pool drains. *)
+    after the worker pool drains.
+
+    [on_phase] is called at the epoch's internal barriers — ["apply"]
+    (simulator converged), ["collect"] (vertices enumerated), ["verify"]
+    (worker pool drained) — and exists so the crash-soak harness can kill
+    the process mid-epoch at seeded points.  It must not mutate engine
+    state. *)
 
 val current_epoch : t -> int
 
@@ -114,3 +124,59 @@ val report_line : epoch_report -> string
     [epoch=… period=… changes=… msgs=… vertices=… dirty+skipped=… detected=…
     convicted=… digest=…] — except for [dirty]/[skipped], which reflect the
     cache setting by design. *)
+
+(** {2 Checkpoint / resume}
+
+    Crash tolerance rests on the determinism contract: every verification
+    outcome is a pure function of (master seed, vertex snapshot, salt
+    period), so a resumed engine only needs (a) the simulator state — which
+    replay of the deterministic churn stream rebuilds via {!skip_epoch} —
+    and (b) the hash chain position.  Carried per-vertex outcomes and salt
+    periods (a checkpoint's payload) merely restore the {e incremental}
+    part; without them every vertex recomputes once and the digest is
+    still byte-identical. *)
+
+val skip_epoch : ?apply:(Bgp.Simulator.t -> int) -> t -> int * int
+(** Fast-forward one epoch: apply the update batch and converge the
+    simulator without verifying.  Returns [(changes, msgs)].  Used by
+    resume to replay the churn stream up to the checkpointed epoch. *)
+
+val rib_digest : t -> string
+(** Hex fingerprint of the full simulator state visible to the engine
+    (Loc-RIB and per-neighbor Adj-RIB-In/Out of every AS).  Resume refuses
+    to continue when the replayed state does not match the stored one. *)
+
+module Checkpoint : sig
+  type info = {
+    ck_epoch : int;
+    ck_chain : string;  (** running report digest at [ck_epoch] *)
+    ck_run_id : string;  (** identifies the (seed, parameters) run *)
+    ck_rib : string;  (** {!rib_digest} at [ck_epoch] *)
+    ck_states : int;  (** carried vertex states *)
+  }
+
+  val run_id : t -> string
+  (** Digest of the engine's master secret: two engines agree on it iff
+      they were created from the same seed stream. *)
+
+  val save : t -> string
+  (** Serialize epoch position, hash chain, RIB digest and every vertex's
+      carry-forward state (snapshot digest, salt period, outcome) into a
+      self-validating binary blob. *)
+
+  val info : string -> (info, string) result
+  (** Peek at a blob's header without an engine.  Never raises. *)
+
+  val load : t -> string -> (info, string) result
+  (** Install a checkpoint into an engine that has been fast-forwarded
+      (via {!skip_epoch}) to the checkpoint's epoch with the same seed.
+      Validates the run id and the replayed RIB digest first; on success
+      installs the hash chain and vertex states (memo tables restart
+      empty — harmless, recomputation is pure).  Never raises on corrupt
+      input. *)
+
+  val advance : t -> epoch:int -> chain:string -> rib:string -> (unit, string) result
+  (** Move the hash chain to a journal-recorded epoch beyond the newest
+      snapshot: the engine must already be fast-forwarded to [epoch], and
+      [rib] must match the live simulator. *)
+end

@@ -1,0 +1,215 @@
+module Store = Pvr_store.Store
+module Codec = Pvr_store.Codec
+
+type epoch_record = {
+  er_epoch : int;
+  er_period : int;
+  er_changes : int;
+  er_msgs : int;
+  er_vertices : int;
+  er_dirty : int;
+  er_skipped : int;
+  er_detected : int;
+  er_convicted : int;
+  er_digest : string;
+  er_rib : string;
+  er_run_id : string;
+}
+
+let er_version = 1
+
+let encode_epoch r =
+  let buf = Buffer.create 256 in
+  Codec.u32 buf er_version;
+  Codec.u32 buf r.er_epoch;
+  Codec.u32 buf r.er_period;
+  Codec.u32 buf r.er_changes;
+  Codec.u32 buf r.er_msgs;
+  Codec.u32 buf r.er_vertices;
+  Codec.u32 buf r.er_dirty;
+  Codec.u32 buf r.er_skipped;
+  Codec.u32 buf r.er_detected;
+  Codec.u32 buf r.er_convicted;
+  Codec.str buf r.er_digest;
+  Codec.str buf r.er_rib;
+  Codec.str buf r.er_run_id;
+  Buffer.contents buf
+
+let decode_epoch payload =
+  Codec.decode payload (fun r ->
+      let v = Codec.get_u32 r in
+      if v <> er_version then
+        raise
+          (Codec.Malformed ("unsupported journal version " ^ string_of_int v));
+      let er_epoch = Codec.get_u32 r in
+      let er_period = Codec.get_u32 r in
+      let er_changes = Codec.get_u32 r in
+      let er_msgs = Codec.get_u32 r in
+      let er_vertices = Codec.get_u32 r in
+      let er_dirty = Codec.get_u32 r in
+      let er_skipped = Codec.get_u32 r in
+      let er_detected = Codec.get_u32 r in
+      let er_convicted = Codec.get_u32 r in
+      let er_digest = Codec.get_str r in
+      let er_rib = Codec.get_str r in
+      let er_run_id = Codec.get_str r in
+      {
+        er_epoch;
+        er_period;
+        er_changes;
+        er_msgs;
+        er_vertices;
+        er_dirty;
+        er_skipped;
+        er_detected;
+        er_convicted;
+        er_digest;
+        er_rib;
+        er_run_id;
+      })
+
+type session = { store : Store.t; snapshot_every : int }
+
+let start ?(fsync = true) ?(snapshot_every = 1) ~dir () =
+  { store = Store.open_ ~fsync ~dir (); snapshot_every }
+
+let record s eng (r : Engine.epoch_report) =
+  let er =
+    {
+      er_epoch = r.Engine.ep_epoch;
+      er_period = r.Engine.ep_period;
+      er_changes = r.Engine.ep_changes;
+      er_msgs = r.Engine.ep_msgs;
+      er_vertices = r.Engine.ep_vertices;
+      er_dirty = r.Engine.ep_dirty;
+      er_skipped = r.Engine.ep_skipped;
+      er_detected = r.Engine.ep_detected;
+      er_convicted = r.Engine.ep_convicted;
+      er_digest = r.Engine.ep_digest;
+      er_rib = Engine.rib_digest eng;
+      er_run_id = Engine.Checkpoint.run_id eng;
+    }
+  in
+  Store.append s.store (encode_epoch er);
+  if s.snapshot_every > 0 && r.Engine.ep_epoch mod s.snapshot_every = 0 then
+    Store.write_snapshot s.store ~epoch:r.Engine.ep_epoch
+      (Engine.Checkpoint.save eng)
+
+let close s = Store.close s.store
+
+type resumed = {
+  rs_epoch : int;
+  rs_snapshot_epoch : int;
+  rs_replayed : int;
+  rs_dropped : int;
+}
+
+let fresh ~dropped ~replayed =
+  { rs_epoch = 0; rs_snapshot_epoch = 0; rs_replayed = replayed;
+    rs_dropped = dropped }
+
+let resume ?(quiet = false) ~dir ~engine ~apply () =
+  let rc = Store.recover ~quiet ~dir () in
+  let run_id = Engine.Checkpoint.run_id engine in
+  (* Journal frames: keep decodable ones that belong to this run; a frame
+     that fails either test counts as corrupt but does not invalidate the
+     frames before it. *)
+  let decode_dropped = ref 0 in
+  let foreign = ref false in
+  let frames =
+    List.filter_map
+      (fun payload ->
+        match decode_epoch payload with
+        | Ok er when er.er_run_id = run_id -> Some er
+        | Ok _ ->
+            foreign := true;
+            incr decode_dropped;
+            None
+        | Error _ ->
+            incr decode_dropped;
+            None)
+      rc.Store.rc_frames
+  in
+  let last_frame =
+    List.fold_left
+      (fun acc er ->
+        match acc with
+        | Some best when best.er_epoch >= er.er_epoch -> acc
+        | _ -> Some er)
+      None frames
+  in
+  (* Newest snapshot whose header decodes and matches this run. *)
+  let snapshot =
+    List.find_map
+      (fun (epoch, blob) ->
+        match Engine.Checkpoint.info blob with
+        | Ok info when info.Engine.Checkpoint.ck_run_id = run_id ->
+            Some (epoch, blob, info)
+        | Ok _ ->
+            foreign := true;
+            incr decode_dropped;
+            None
+        | Error _ ->
+            incr decode_dropped;
+            None)
+      rc.Store.rc_snapshots
+  in
+  let dropped = rc.Store.rc_dropped + !decode_dropped in
+  let replayed = List.length frames in
+  let skip_to target eng =
+    while Engine.current_epoch eng < target do
+      let e = Engine.current_epoch eng + 1 in
+      ignore (Engine.skip_epoch ~apply:(apply ~epoch:e) eng : int * int)
+    done
+  in
+  let from_snapshot blob info =
+    skip_to info.Engine.Checkpoint.ck_epoch engine;
+    match Engine.Checkpoint.load engine blob with
+    | Error e -> Error e
+    | Ok info ->
+        Ok
+          {
+            rs_epoch = info.Engine.Checkpoint.ck_epoch;
+            rs_snapshot_epoch = info.Engine.Checkpoint.ck_epoch;
+            rs_replayed = replayed;
+            rs_dropped = dropped;
+          }
+  in
+  match (snapshot, last_frame) with
+  | None, None ->
+      if !foreign then
+        Error "store belongs to a different run (seed or parameters)"
+      else Ok (fresh ~dropped ~replayed)
+  | Some (_, blob, info), None -> from_snapshot blob info
+  | Some (snap_epoch, blob, info), Some er when snap_epoch >= er.er_epoch ->
+      from_snapshot blob info
+  | snapshot, Some er -> (
+      (* Journal extends past the newest snapshot (or there is none):
+         restore the snapshot if any, then fast-forward to the last
+         journaled epoch and adopt its chain. *)
+      let restored =
+        match snapshot with
+        | None -> Ok 0
+        | Some (_, blob, info) -> (
+            skip_to info.Engine.Checkpoint.ck_epoch engine;
+            match Engine.Checkpoint.load engine blob with
+            | Error e -> Error e
+            | Ok info -> Ok info.Engine.Checkpoint.ck_epoch)
+      in
+      match restored with
+      | Error e -> Error e
+      | Ok snap_epoch -> (
+          skip_to er.er_epoch engine;
+          match
+            Engine.Checkpoint.advance engine ~epoch:er.er_epoch
+              ~chain:er.er_digest ~rib:er.er_rib
+          with
+          | Error e -> Error e
+          | Ok () ->
+              Ok
+                {
+                  rs_epoch = er.er_epoch;
+                  rs_snapshot_epoch = snap_epoch;
+                  rs_replayed = replayed;
+                  rs_dropped = dropped;
+                }))

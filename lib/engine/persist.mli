@@ -1,0 +1,73 @@
+(** Durable engine sessions: glue between {!Engine} and {!Pvr_store.Store}.
+
+    A persisted run appends one journal frame per completed epoch (epoch
+    number, salt period, batch size, convergence messages, vertex/outcome
+    tallies, the post-epoch hash-chain digest, the simulator RIB digest
+    and the run id) and every [snapshot_every] epochs atomically rewrites
+    a full {!Engine.Checkpoint} snapshot.  The journal frame is written
+    {e before} the snapshot, so the WAL invariant holds: anything a
+    snapshot claims is also in the journal.
+
+    {!resume} rebuilds a crashed run: recover the store (torn tails
+    truncated, corrupt snapshots skipped), pick the newest usable record,
+    replay the deterministic churn stream with {!Engine.skip_epoch} up to
+    it, validate run id + RIB digest, and install chain and carried
+    states.  The continued run produces a digest byte-identical to an
+    uninterrupted one — for any jobs value, cache on or off, and under
+    fault-injected networks — because outcomes are pure functions of the
+    seed and the replayed state. *)
+
+module Store = Pvr_store.Store
+
+type epoch_record = {
+  er_epoch : int;
+  er_period : int;
+  er_changes : int;
+  er_msgs : int;
+  er_vertices : int;
+  er_dirty : int;
+  er_skipped : int;
+  er_detected : int;
+  er_convicted : int;
+  er_digest : string;  (** hash chain after this epoch *)
+  er_rib : string;  (** {!Engine.rib_digest} after this epoch *)
+  er_run_id : string;
+}
+
+val encode_epoch : epoch_record -> string
+val decode_epoch : string -> (epoch_record, string) result
+
+type session
+
+val start : ?fsync:bool -> ?snapshot_every:int -> dir:string -> unit -> session
+(** Open [dir] for appending.  [snapshot_every] (default 1) epochs per
+    full snapshot; [0] disables snapshots (journal-only, resume then
+    replays from epoch 1). *)
+
+val record : session -> Engine.t -> Engine.epoch_report -> unit
+(** Journal one completed epoch; snapshot if the cadence says so. *)
+
+val close : session -> unit
+
+type resumed = {
+  rs_epoch : int;  (** engine position after resume; [0] = fresh start *)
+  rs_snapshot_epoch : int;  (** epoch of the snapshot used; [0] = none *)
+  rs_replayed : int;  (** journal frames read back *)
+  rs_dropped : int;  (** corrupt frames/snapshots dropped during recovery *)
+}
+
+val resume :
+  ?quiet:bool ->
+  dir:string ->
+  engine:Engine.t ->
+  apply:(epoch:int -> Engine.Bgp.Simulator.t -> int) ->
+  unit ->
+  (resumed, string) result
+(** Resume [engine] (freshly created, epoch 0, same seed stream) from
+    [dir].  [apply ~epoch] must reproduce the original run's update batch
+    for that epoch — resume replays it for every epoch up to the recovery
+    target.  [Ok] with [rs_epoch = 0] means the store was empty (or
+    recovered to nothing): start from scratch.  [Error] means the store
+    contradicts this run (different seed/parameters, or a RIB replay
+    mismatch) — the caller should treat the store as unrecoverable.
+    Never raises on corrupt store contents. *)

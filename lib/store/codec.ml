@@ -1,0 +1,50 @@
+exception Malformed of string
+
+let u32 buf n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Codec.u32: out of range";
+  Buffer.add_string buf (Pvr_crypto.Bytes_util.be32 n)
+
+let str buf s =
+  u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let bool_ buf b = Buffer.add_char buf (if b then '\x01' else '\x00')
+
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+let remaining r = String.length r.src - r.pos
+
+let need r n what =
+  if remaining r < n then
+    raise (Malformed (Printf.sprintf "truncated %s at offset %d" what r.pos))
+
+let get_u32 r =
+  need r 4 "u32";
+  let v = Pvr_crypto.Bytes_util.read_be32 r.src r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let get_str r =
+  let n = get_u32 r in
+  need r n "string";
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_bool r =
+  need r 1 "bool";
+  let c = r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with
+  | '\x00' -> false
+  | '\x01' -> true
+  | _ -> raise (Malformed "bad bool")
+
+let at_end r = remaining r = 0
+
+let decode payload parse =
+  let r = reader payload in
+  match parse r with
+  | v -> if at_end r then Ok v else Error "trailing bytes after record"
+  | exception Malformed m -> Error m

@@ -1,0 +1,26 @@
+(** Minimal binary record codec for store payloads: big-endian u32s,
+    length-prefixed strings, booleans.  The reader is bounds-checked and
+    raises the private {!Malformed} exception on any truncated or
+    oversized field — callers in the recovery path catch it and treat the
+    record as corrupt (the decoders exposed by the store and the engine
+    never let it escape). *)
+
+exception Malformed of string
+
+val u32 : Buffer.t -> int -> unit
+(** @raise Invalid_argument outside [0, 2^32). *)
+
+val str : Buffer.t -> string -> unit
+val bool_ : Buffer.t -> bool -> unit
+
+type reader
+
+val reader : string -> reader
+val get_u32 : reader -> int
+val get_str : reader -> string
+val get_bool : reader -> bool
+val at_end : reader -> bool
+
+val decode : string -> (reader -> 'a) -> ('a, string) result
+(** Run a parser over a payload, turning {!Malformed} (and any leftover
+    trailing bytes) into [Error]. *)

@@ -1,0 +1,21 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* Conditioning (initial and final xor with 0xFFFFFFFF) is folded into
+   [update] so that running CRCs compose: update (update 0 a) b over the
+   conditioned value equals digest (a ^ b). *)
+let update crc s =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> crc := t.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let digest s = update 0 s

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+
+    Used to frame journal and snapshot records on disk: a torn or
+    bit-flipped frame fails its checksum and is dropped by recovery
+    instead of being replayed.  This is an integrity code against
+    accidental corruption, not an authenticator — the store is local
+    state, the hash-chained report digest is the tamper-evident part. *)
+
+val digest : string -> int
+(** One-shot CRC of the whole string. *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running CRC: [update (update 0 a) b =
+    digest (a ^ b)] and [digest s = update 0 s]. *)

@@ -1,0 +1,207 @@
+module BU = Pvr_crypto.Bytes_util
+
+let c_fsync = Pvr_obs.counter "store.fsync.count"
+let c_journal_bytes = Pvr_obs.counter "store.journal.bytes"
+let c_journal_appends = Pvr_obs.counter "store.journal.appends"
+let c_snapshot_writes = Pvr_obs.counter "store.snapshot.writes"
+let c_replay_frames = Pvr_obs.counter "store.replay.frames"
+let c_corrupt_dropped = Pvr_obs.counter "store.corrupt.dropped"
+
+let journal_magic = "PVRJ"
+let snapshot_magic = "PVRS"
+let version = 1
+let kind_epoch = 1
+let kind_snapshot = 2
+
+(* magic(4) + version(1) + kind(1) + len(4) ... payload ... crc(4) *)
+let header_len = 10
+let max_payload = 1 lsl 28
+
+let journal_path ~dir = Filename.concat dir "journal.pvrj"
+
+let snapshot_path ~dir ~epoch =
+  Filename.concat dir (Printf.sprintf "snap-%010d.pvrs" epoch)
+
+let frame ~magic ~kind payload =
+  let buf = Buffer.create (header_len + String.length payload + 4) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr kind);
+  Buffer.add_string buf (BU.be32 (String.length payload));
+  Buffer.add_string buf payload;
+  let crc = Crc32.digest (Buffer.contents buf) in
+  Buffer.add_string buf (BU.be32 crc);
+  Buffer.contents buf
+
+(* Parse the frame starting at [off]; [Ok (payload, next_off)] or the
+   reason it is invalid.  Never raises. *)
+let parse_frame ~magic src off =
+  let total = String.length src in
+  if total - off < header_len + 4 then Error "short frame"
+  else if String.sub src off 4 <> magic then Error "bad magic"
+  else if Char.code src.[off + 4] <> version then Error "bad version"
+  else begin
+    let kind = Char.code src.[off + 5] in
+    if kind <> kind_epoch && kind <> kind_snapshot then Error "bad kind"
+    else begin
+      let len = BU.read_be32 src (off + 6) in
+      if len > max_payload || total - off < header_len + len + 4 then
+        Error "truncated payload"
+      else begin
+        let crc = BU.read_be32 src (off + header_len + len) in
+        if Crc32.digest (String.sub src off (header_len + len)) <> crc then
+          Error "crc mismatch"
+        else
+          Ok (String.sub src (off + header_len) len, off + header_len + len + 4)
+      end
+    end
+  end
+
+type t = { dir : string; fsync : bool; mutable oc : Out_channel.t option }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg ("Store.open_: not a directory: " ^ dir)
+
+let open_ ?(fsync = true) ~dir () =
+  ensure_dir dir;
+  let oc =
+    Out_channel.open_gen
+      [ Open_wronly; Open_append; Open_creat; Open_binary ]
+      0o644 (journal_path ~dir)
+  in
+  { dir; fsync; oc = Some oc }
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None -> invalid_arg "Store: closed"
+
+let append t payload =
+  let oc = channel t in
+  let fr = frame ~magic:journal_magic ~kind:kind_epoch payload in
+  Out_channel.output_string oc fr;
+  Out_channel.flush oc;
+  if t.fsync then begin
+    Unix.fsync (Unix.descr_of_out_channel oc);
+    Pvr_obs.incr c_fsync
+  end;
+  Pvr_obs.incr c_journal_appends;
+  Pvr_obs.add c_journal_bytes (String.length fr)
+
+let write_snapshot t ~epoch payload =
+  let fr = frame ~magic:snapshot_magic ~kind:kind_snapshot payload in
+  Atomic_file.write ~fsync:t.fsync (snapshot_path ~dir:t.dir ~epoch) fr;
+  Pvr_obs.incr c_snapshot_writes
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      t.oc <- None;
+      Out_channel.close oc
+
+type recovery = {
+  rc_snapshots : (int * string) list;
+  rc_frames : string list;
+  rc_dropped : int;
+  rc_truncated_bytes : int;
+}
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Some s
+  | exception (Sys_error _ | Unix.Unix_error _) -> None
+
+let warn quiet fmt =
+  Printf.ksprintf
+    (fun msg -> if not quiet then Printf.eprintf "store: %s\n%!" msg)
+    fmt
+
+(* Snapshot file names carry the epoch; parse it back, rejecting strays. *)
+let snapshot_epoch_of_name name =
+  if
+    String.length name = 20
+    && String.sub name 0 5 = "snap-"
+    && Filename.check_suffix name ".pvrs"
+  then int_of_string_opt (String.sub name 5 10)
+  else None
+
+let recover ?(quiet = false) ~dir () =
+  let dropped = ref 0 in
+  let frames = ref [] in
+  let truncated = ref 0 in
+  let jpath = journal_path ~dir in
+  (match read_file jpath with
+  | None -> ()
+  | Some src ->
+      let total = String.length src in
+      let off = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        if !off >= total then stop := true
+        else
+          match parse_frame ~magic:journal_magic src !off with
+          | Ok (payload, next) ->
+              frames := payload :: !frames;
+              Pvr_obs.incr c_replay_frames;
+              off := next
+          | Error reason ->
+              incr dropped;
+              Pvr_obs.incr c_corrupt_dropped;
+              truncated := total - !off;
+              warn quiet
+                "journal %s: %s at offset %d; truncating %d byte(s)" jpath
+                reason !off !truncated;
+              stop := true
+      done;
+      if !truncated > 0 then begin
+        (* Truncate-and-warn: cut the torn/corrupt tail so the next append
+           starts at a clean frame boundary. *)
+        match Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                try Unix.ftruncate fd !off with Unix.Unix_error _ -> ())
+      end);
+  let snapshots =
+    (match Sys.readdir dir with
+    | names -> Array.to_list names
+    | exception Sys_error _ -> [])
+    |> List.filter_map (fun name ->
+           Option.map (fun e -> (e, name)) (snapshot_epoch_of_name name))
+    |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+    |> List.filter_map (fun (epoch, name) ->
+           match read_file (Filename.concat dir name) with
+           | None ->
+               incr dropped;
+               Pvr_obs.incr c_corrupt_dropped;
+               warn quiet "snapshot %s: unreadable; skipping" name;
+               None
+           | Some src -> (
+               match parse_frame ~magic:snapshot_magic src 0 with
+               | Ok (payload, next) when next = String.length src ->
+                   Some (epoch, payload)
+               | Ok _ | Error _ ->
+                   incr dropped;
+                   Pvr_obs.incr c_corrupt_dropped;
+                   warn quiet "snapshot %s: corrupt; skipping" name;
+                   None))
+  in
+  {
+    rc_snapshots = snapshots;
+    rc_frames = List.rev !frames;
+    rc_dropped = !dropped;
+    rc_truncated_bytes = !truncated;
+  }
+
+let reset ~dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun name ->
+        if name = "journal.pvrj" || snapshot_epoch_of_name name <> None then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (Sys.readdir dir)

@@ -1,0 +1,66 @@
+(** Durable epoch store: an append-only, CRC-framed write-ahead journal
+    plus periodic full snapshots, living together in one directory.
+
+    {2 On-disk format}
+
+    The journal ([journal.pvrj]) is a sequence of frames:
+
+    {v
+    "PVRJ" | version u8 | kind u8 | len u32be | payload | crc32 u32be
+    v}
+
+    where the CRC covers everything from the magic through the payload.
+    Frames are appended with a single [write] followed by an optional
+    [fsync], so a crash can only tear the {e last} frame.  Snapshots are
+    single-frame files ([snap-<epoch>.pvrs], magic ["PVRS"]) written via
+    {!Atomic_file.write} — they are either entirely present or absent.
+
+    {2 Recovery contract}
+
+    {!recover} never raises on corrupt input.  It walks the journal from
+    the start, keeps the longest valid prefix of frames, truncates the
+    file back to that prefix (torn or mangled tails are dropped with a
+    warning on [stderr]), and returns every CRC-valid snapshot newest
+    first.  Corrupt snapshots are skipped, falling back to older ones.
+    Every dropped frame or snapshot bumps the ["store.corrupt.dropped"]
+    counter; every replayed frame bumps ["store.replay.frames"]; appends
+    account bytes in ["store.journal.bytes"] and fsyncs in
+    ["store.fsync.count"]. *)
+
+type t
+(** An open store, positioned for appending. *)
+
+val open_ : ?fsync:bool -> dir:string -> unit -> t
+(** Create [dir] if needed and open the journal for appending.  [fsync]
+    (default [true]) syncs the journal after every append and snapshots
+    on rename; [false] keeps the framing (and hence torn-write recovery)
+    but skips durability barriers. *)
+
+val append : t -> string -> unit
+(** Append one journal frame with the given payload and flush it
+    (+fsync when enabled). *)
+
+val write_snapshot : t -> epoch:int -> string -> unit
+(** Atomically (re)write the snapshot file for [epoch]. *)
+
+val close : t -> unit
+
+type recovery = {
+  rc_snapshots : (int * string) list;
+      (** CRC-valid snapshot payloads, newest epoch first *)
+  rc_frames : string list;  (** valid journal frame payloads, append order *)
+  rc_dropped : int;  (** corrupt frames + snapshot files dropped *)
+  rc_truncated_bytes : int;  (** journal bytes cut off the tail *)
+}
+
+val recover : ?quiet:bool -> dir:string -> unit -> recovery
+(** Read back everything valid in [dir]; truncate the journal to its
+    valid prefix.  Never raises: unreadable files and mangled bytes
+    degrade to an empty/shorter recovery.  [quiet] suppresses the
+    [stderr] warnings. *)
+
+val reset : dir:string -> unit
+(** Delete the journal and all snapshots in [dir] (fresh-start). *)
+
+val journal_path : dir:string -> string
+val snapshot_path : dir:string -> epoch:int -> string

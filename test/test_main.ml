@@ -10,4 +10,5 @@ let () =
       ("obs", Test_obs.suite);
       ("net", Test_net.suite);
       ("engine", Test_engine.suite);
+      ("store", Test_store.suite);
     ]
