@@ -948,6 +948,196 @@ let e12 () =
       ("modes", J.List rows);
     ]
 
+(* ---- E13: internet scale: generated topology, interning, shards ------------------ *)
+
+let e13 () =
+  header "E13  internet scale: generated topology, route interning, shards";
+  let seed = 2028 in
+  (* One RSA-512 keyring covering ASNs 1..1000 serves every topology size
+     below: [Topology.generate ~ases:n] always numbers its ASes 1..n, so a
+     superset ring avoids regenerating keys per size (keygen dominates
+     wall-clock at this scale). *)
+  let max_ases = 1000 in
+  Printf.printf "[e13] generating %d RSA-512 key pairs...\n%!" max_ases;
+  let t0 = Unix.gettimeofday () in
+  let ekeyring =
+    P.Keyring.create ~bits:512
+      (C.Drbg.of_int_seed (seed + 1))
+      (List.init max_ases (fun i -> asn (i + 1)))
+  in
+  Printf.printf "[e13] done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  (* Every run re-derives topology, churn and engine secret from fixed
+     integer seeds: same [ases] means the same internet, so digests are
+     comparable across jobs/shards/cache/intern settings. *)
+  let run ?(epochs = 4) ?(turnover = 0.2) ?on_epoch ~ases ~jobs ~shards
+      ~intern ~cache () =
+    G.Intern.set_enabled intern;
+    let topo =
+      G.Topology.generate (C.Drbg.of_int_seed (seed + 2)) ~ases ()
+    in
+    (* Origins: the four highest ASNs — late arrivals in the preferential-
+       attachment order, hence stubs near the edge, as in the paper's
+       promise-to-beneficiary scenario. *)
+    let origins = List.init 4 (fun i -> asn (ases - i)) in
+    let sim = G.Simulator.create topo in
+    let churn =
+      G.Update_gen.Churn.create ~anycast:1 ~origins ~prefixes_per_origin:2 ()
+    in
+    let churn_rng = C.Drbg.of_int_seed (seed + 3) in
+    let eng =
+      E.create ~jobs ~shards ~cache ~salt_every:8
+        (C.Drbg.of_int_seed (seed + 4))
+        ekeyring ~topology:topo ~sim ()
+    in
+    let dirty = ref 0 and msgs = ref 0 in
+    for i = 1 to epochs do
+      let apply sim =
+        if i = 1 then List.length (G.Update_gen.Churn.seed churn sim)
+        else
+          List.length (G.Update_gen.Churn.step churn_rng ~turnover churn sim)
+      in
+      let r = E.epoch ~apply eng in
+      dirty := !dirty + r.E.ep_dirty;
+      msgs := !msgs + r.E.ep_msgs;
+      Option.iter (fun f -> f i r) on_epoch
+    done;
+    let d = E.digest eng in
+    G.Intern.set_enabled false;
+    (d, !dirty, !msgs)
+  in
+  (* Scaling curve: ASes x jobs at fixed turnover (single timed run per
+     cell; at this scale a run is seconds, not microseconds). *)
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "cores=%d\n%!" cores;
+  Printf.printf "%6s %5s  %10s  %10s  %8s  %8s\n" "ases" "jobs" "run ms"
+    "ms/epoch" "dirty" "msgs";
+  let epochs = 4 in
+  let scaling =
+    List.concat_map
+      (fun ases ->
+        List.map
+          (fun jobs ->
+            let t0 = Unix.gettimeofday () in
+            let _, dirty, msgs =
+              run ~ases ~jobs ~shards:8 ~intern:true ~cache:true ()
+            in
+            let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            Printf.printf "%6d %5d  %10.1f  %10.1f  %8d  %8d\n%!" ases jobs
+              ms
+              (ms /. float_of_int epochs)
+              dirty msgs;
+            J.Obj
+              [
+                ("ases", J.Int ases);
+                ("jobs", J.Int jobs);
+                ("ms_per_run", J.Float ms);
+                ("ms_per_epoch", J.Float (ms /. float_of_int epochs));
+                ("dirty", J.Int dirty);
+                ("msgs", J.Int msgs);
+              ])
+          [ 1; 2 ])
+      [ 100; 300; 1000 ]
+  in
+  (* Turnover sweep at a fixed mid-size internet. *)
+  Printf.printf "%8s  %10s  %8s\n" "turnover" "run ms" "dirty";
+  let turnover_rows =
+    List.map
+      (fun turnover ->
+        let t0 = Unix.gettimeofday () in
+        let _, dirty, _ =
+          run ~turnover ~ases:300 ~jobs:1 ~shards:8 ~intern:true ~cache:true
+            ()
+        in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        Printf.printf "%8.2f  %10.1f  %8d\n%!" turnover ms dirty;
+        J.Obj
+          [
+            ("turnover", J.Float turnover);
+            ("ms_per_run", J.Float ms);
+            ("dirty", J.Int dirty);
+          ])
+      [ 0.05; 0.2; 0.5 ]
+  in
+  (* Determinism matrix at 1000 ASes: the digest must be byte-identical
+     across jobs, shard counts, the memo cache and interning. *)
+  let base, _, _ = run ~ases:1000 ~jobs:1 ~shards:0 ~intern:true ~cache:true () in
+  let matrix =
+    [
+      ( "jobs=2 shards=5",
+        fun () -> run ~ases:1000 ~jobs:2 ~shards:5 ~intern:true ~cache:true () );
+      ( "jobs=4 shards=16",
+        fun () -> run ~ases:1000 ~jobs:4 ~shards:16 ~intern:true ~cache:true () );
+      ( "jobs=2 intern=off",
+        fun () -> run ~ases:1000 ~jobs:2 ~shards:5 ~intern:false ~cache:true () );
+      ( "jobs=1 cache=off",
+        fun () -> run ~ases:1000 ~jobs:1 ~shards:0 ~intern:true ~cache:false () );
+    ]
+  in
+  let determinism =
+    List.map
+      (fun (label, f) ->
+        let d, _, _ = f () in
+        Printf.printf "digest %-18s %s\n%!" label
+          (if d = base then "= baseline" else "MISMATCH");
+        assert (d = base);
+        J.Obj [ ("variant", J.String label); ("digest_matches", J.Bool true) ])
+      matrix
+  in
+  (* Interning ablation: allocated words per steady-state epoch (§3.8's
+     quiet regime: zero turnover after the seeding epoch, so every epoch is
+     collect + classify + digest with no fresh RSA).  Interning memoizes
+     the per-vertex snapshot encodes, which dominate allocation there. *)
+  let allocated_words () =
+    let s = Gc.quick_stat () in
+    s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+  in
+  let quiet_words ~intern =
+    let words = ref [] in
+    let before = ref 0.0 in
+    let d, _, _ =
+      run ~epochs:6 ~turnover:0.0 ~ases:1000 ~jobs:1 ~shards:0 ~intern
+        ~cache:true
+        ~on_epoch:(fun i _ ->
+          (* Epoch 1 seeds the table (RSA everywhere); epochs 2.. are the
+             steady state we measure. *)
+          let now = allocated_words () in
+          if i >= 2 then words := (now -. !before) :: !words;
+          before := now)
+        ()
+    in
+    let n = List.length !words in
+    (d, List.fold_left ( +. ) 0.0 !words /. float_of_int n)
+  in
+  let d_off, w_off = quiet_words ~intern:false in
+  let d_on, w_on = quiet_words ~intern:true in
+  assert (d_off = d_on);
+  let ratio = w_off /. w_on in
+  Printf.printf
+    "quiet-epoch allocation (1000 ASes): intern=off %.0f words/epoch, \
+     intern=on %.0f words/epoch, reduction %.2fx\n%!"
+    w_off w_on ratio;
+  (* The acceptance claim: interning at least halves steady-state
+     allocation on the 1k-AS workload. *)
+  assert (ratio >= 2.0);
+  J.Obj
+    [
+      ("max_ases", J.Int max_ases);
+      ("epochs", J.Int epochs);
+      ("cores", J.Int cores);
+      ("scaling", J.List scaling);
+      ("turnover_sweep", J.List turnover_rows);
+      ("digest", J.String base);
+      ("determinism", J.List determinism);
+      ( "intern_ablation",
+        J.Obj
+          [
+            ("allocated_words_per_quiet_epoch_off", J.Float w_off);
+            ("allocated_words_per_quiet_epoch_on", J.Float w_on);
+            ("reduction_factor", J.Float ratio);
+            ("digest_matches", J.Bool (d_off = d_on));
+          ] );
+    ]
+
 (* ---- Bechamel: one Test.make per experiment ------------------------------------- *)
 
 let bechamel_tests () =
@@ -1065,8 +1255,23 @@ let () =
       ("e10_faulty_network", e10);
       ("e11_engine", e11);
       ("e12_durable_store", e12);
+      ("e13_scale", e13);
       ("bechamel", run_bechamel);
     ]
+  in
+  (* Optional filter: `bench/main.exe e11_engine e13_scale` runs only the
+     named experiments (unknown names fail loudly). *)
+  let experiments =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> experiments
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n experiments) then (
+              Printf.eprintf "unknown experiment %S\n" n;
+              exit 2))
+          names;
+        List.filter (fun (n, _) -> List.mem n names) experiments
   in
   let results = List.map (fun (name, f) -> (name, f ())) experiments in
   let doc =

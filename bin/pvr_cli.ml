@@ -199,8 +199,12 @@ type eparams = {
   p_seed : int;
   p_tiers : string;
   p_peering : float;
+  p_ases : int; (* > 0: power-law generated topology instead of --tiers *)
+  p_gen_seed : int option;
   p_epochs : int;
   p_jobs : int;
+  p_shards : int;
+  p_intern : bool;
   p_bits : int;
   p_cache : bool;
   p_salt_every : int;
@@ -223,21 +227,36 @@ type world = {
    "topology", "keys", "churn", "engine" — is part of the on-disk contract:
    a resumed run replays the same streams, so it must never change. *)
 let build_world ?(quiet = false) p =
+  G.Intern.set_enabled p.p_intern;
   let master = C.Drbg.of_int_seed p.p_seed in
-  let tiers = List.map int_of_string (String.split_on_char ',' p.p_tiers) in
   let topo =
-    G.Topology.hierarchy
-      (C.Drbg.split master "topology")
-      ~tiers ~extra_peering:p.p_peering
+    if p.p_ases > 0 then
+      (* Power-law internet.  --gen-seed decouples the topology from the
+         run seed (same internet, different salts/churn); without it the
+         topology comes from the master stream like the hierarchy does. *)
+      let gen_rng =
+        match p.p_gen_seed with
+        | Some s -> C.Drbg.of_int_seed s
+        | None -> C.Drbg.split master "topology"
+      in
+      G.Topology.generate gen_rng ~extra_peering:p.p_peering ~ases:p.p_ases ()
+    else
+      let tiers =
+        List.map int_of_string (String.split_on_char ',' p.p_tiers)
+      in
+      G.Topology.hierarchy
+        (C.Drbg.split master "topology")
+        ~tiers ~extra_peering:p.p_peering
   in
   let ases = G.Topology.ases topo in
   if not quiet then begin
     Printf.printf
-      "engine: %d ASes, %d links; seed=%d epochs=%d jobs=%d cache=%b \
-       salt_every=%d turnover=%.2f\n%!"
+      "engine: %d ASes, %d links; seed=%d epochs=%d jobs=%d shards=%d \
+       cache=%b intern=%b salt_every=%d turnover=%.2f\n%!"
       (G.Topology.size topo)
       (List.length (G.Topology.links topo))
-      p.p_seed p.p_epochs p.p_jobs p.p_cache p.p_salt_every p.p_turnover;
+      p.p_seed p.p_epochs p.p_jobs p.p_shards p.p_cache p.p_intern
+      p.p_salt_every p.p_turnover;
     Printf.printf "Generating %d RSA-%d keys...\n%!" (List.length ases) p.p_bits
   end;
   let keyring =
@@ -281,7 +300,7 @@ let engine_core ?(quiet = false) ?(on_phase = fun ~epoch:_ (_ : string) -> ())
     else None
   in
   let eng =
-    Pvr_engine.Engine.create ~jobs:p.p_jobs ~cache:p.p_cache
+    Pvr_engine.Engine.create ~jobs:p.p_jobs ~shards:p.p_shards ~cache:p.p_cache
       ~salt_every:p.p_salt_every ?faults world.w_engine_rng world.w_keyring
       ~topology:world.w_topo ~sim ()
   in
@@ -634,13 +653,42 @@ let run_check file =
 
 (* ---- topology --------------------------------------------------------------- *)
 
-let run_topology tiers peering seed stats =
+let run_topology tiers peering ases seed stats =
   with_stats stats @@ fun () ->
   let rng = C.Drbg.of_int_seed seed in
-  let tiers = List.map int_of_string (String.split_on_char ',' tiers) in
-  let topo = G.Topology.hierarchy rng ~tiers ~extra_peering:peering in
+  let topo =
+    if ases > 0 then G.Topology.generate rng ~extra_peering:peering ~ases ()
+    else
+      let tiers = List.map int_of_string (String.split_on_char ',' tiers) in
+      G.Topology.hierarchy rng ~tiers ~extra_peering:peering
+  in
   Printf.printf "topology: %d ASes, %d links\n" (G.Topology.size topo)
     (List.length (G.Topology.links topo));
+  if ases > 0 then begin
+    (* Tier histogram + the tier-sized address plan of the generated
+       internet, then the usual convergence run. *)
+    let tier_map = G.Topology.tiers topo in
+    let hist = Hashtbl.create 8 in
+    G.Asn.Map.iter
+      (fun _ t ->
+        Hashtbl.replace hist t
+          (1 + Option.value (Hashtbl.find_opt hist t) ~default:0))
+      tier_map;
+    let tiers_sorted =
+      Hashtbl.fold (fun t n acc -> (t, n) :: acc) hist []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (t, n) -> Printf.printf "  tier %d: %d ASes\n" t n)
+      tiers_sorted;
+    let plan = G.Topology.tiered_prefixes topo in
+    let count_len l =
+      List.length
+        (List.filter (fun (_, p) -> p.G.Prefix.len = l) plan)
+    in
+    Printf.printf "  address plan: %d /8 + %d /16 + %d /24\n" (count_len 8)
+      (count_len 16) (count_len 24)
+  end;
   let sim = G.Simulator.create topo in
   let prefix = G.Prefix.of_string "198.51.100.0/24" in
   let origin = asn (G.Topology.size topo) in
@@ -775,6 +823,25 @@ let eparams_term =
       value & opt float 0.1
       & info [ "peering" ] ~doc:"Same-tier peering probability.")
   in
+  let ases =
+    Arg.(
+      value & opt int 0
+      & info [ "ases" ]
+          ~doc:
+            "Generate a seeded power-law (preferential-attachment) internet \
+             of this many ASes instead of the $(b,--tiers) hierarchy.  0 \
+             (default) keeps the hierarchy.")
+  in
+  let gen_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen-seed" ]
+          ~doc:
+            "Dedicated seed for $(b,--ases) topology generation — the same \
+             internet under different run seeds.  Defaults to deriving the \
+             topology from $(b,--seed).")
+  in
   let epochs =
     Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Verification epochs.")
   in
@@ -782,6 +849,26 @@ let eparams_term =
     Arg.(
       value & opt int 1
       & info [ "jobs"; "j" ] ~doc:"Worker domains for verification rounds.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:
+            "Static (prover, prefix) shard count: each vertex is pinned to \
+             shard hash(vertex) mod $(docv) and each worker domain owns a \
+             disjoint set of shards — no work stealing.  0 (default) keeps \
+             dynamic scheduling.  The digest is identical either way.")
+  in
+  let intern =
+    Arg.(
+      value & opt bool false
+      & info [ "intern" ]
+          ~doc:
+            "Hash-cons AS paths and routes (shared canonical storage, \
+             pointer-equality fast paths, memoized encodings).  \
+             Behaviour-identical: the digest is byte-identical with \
+             interning on or off.")
   in
   let bits =
     Arg.(value & opt int 512 & info [ "bits" ] ~doc:"RSA modulus size.")
@@ -831,14 +918,19 @@ let eparams_term =
             "Per-message drop probability; non-zero routes every round \
              through the fault-injected network.")
   in
-  let make p_seed p_tiers p_peering p_epochs p_jobs p_bits p_cache p_salt_every
-      p_turnover p_origins p_ppo p_anycast p_drop =
+  let make p_seed p_tiers p_peering p_ases p_gen_seed p_epochs p_jobs p_shards
+      p_intern p_bits p_cache p_salt_every p_turnover p_origins p_ppo p_anycast
+      p_drop =
     {
       p_seed;
       p_tiers;
       p_peering;
+      p_ases;
+      p_gen_seed;
       p_epochs;
       p_jobs;
+      p_shards;
+      p_intern;
       p_bits;
       p_cache;
       p_salt_every;
@@ -850,8 +942,9 @@ let eparams_term =
     }
   in
   Term.(
-    const make $ seed $ tiers $ peering $ epochs $ jobs $ bits $ cache
-    $ salt_every $ turnover $ origins $ prefixes_per_origin $ anycast $ drop)
+    const make $ seed $ tiers $ peering $ ases $ gen_seed $ epochs $ jobs
+    $ shards $ intern $ bits $ cache $ salt_every $ turnover $ origins
+    $ prefixes_per_origin $ anycast $ drop)
 
 let checkpoint_every_arg =
   Arg.(
@@ -979,10 +1072,19 @@ let topology_cmd =
   let peering =
     Arg.(value & opt float 0.1 & info [ "peering" ] ~doc:"Same-tier peering probability.")
   in
+  let ases =
+    Arg.(
+      value & opt int 0
+      & info [ "ases" ]
+          ~doc:
+            "Generate a power-law internet of this many ASes (tier \
+             histogram and address plan included) instead of the \
+             $(b,--tiers) hierarchy.")
+  in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"DRBG seed.") in
   Cmd.v
-    (Cmd.info "topology" ~doc:"Generate a hierarchy and run BGP to convergence")
-    Term.(const run_topology $ tiers $ peering $ seed $ stats_arg)
+    (Cmd.info "topology" ~doc:"Generate a topology and run BGP to convergence")
+    Term.(const run_topology $ tiers $ peering $ ases $ seed $ stats_arg)
 
 let primitives_cmd =
   let bits =

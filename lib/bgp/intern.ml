@@ -1,0 +1,181 @@
+(* Hash-consing for AS paths and routes.
+
+   At internet scale the simulator and engine shuffle the same few thousand
+   distinct routes through millions of RIB writes, equality checks and
+   digest encodings per epoch.  Interning maps every structurally-equal
+   path/route to one canonical representative with a compact integer id, so
+   [==] (the fast path inside {!Route.equal}) settles almost every
+   comparison, storage is shared, and the injective {!Route.encode} bytes —
+   recomputed for every vertex snapshot every epoch otherwise — are
+   memoized per canonical route.
+
+   The tables are mutex-guarded so engine worker domains may intern
+   concurrently; all operations are allocation-free on the hit path.  The
+   toggle is global and off by default: with interning disabled every
+   function is the identity (or plain [Route.encode]), which is what the
+   differential-oracle tests compare against. *)
+
+let enabled_flag = ref false
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ---- structural hashing (no allocation) ---------------------------------- *)
+
+let fnv_prime = 0x100000001b3
+
+(* FNV-1a offset basis truncated to OCaml's 63-bit int. *)
+let fnv_basis = 0x3bf29ce484222325
+
+let mix h x = (h lxor x) * fnv_prime land max_int
+
+let hash_path p =
+  List.fold_left (fun h a -> mix h (Asn.to_int a)) fnv_basis p land max_int
+
+let rec equal_path p q =
+  p == q
+  ||
+  match (p, q) with
+  | [], [] -> true
+  | a :: p', b :: q' -> Asn.equal a b && equal_path p' q'
+  | _ -> false
+
+let hash_route (r : Route.t) =
+  let h = mix fnv_basis r.prefix.Prefix.addr in
+  let h = mix h r.prefix.Prefix.len in
+  let h = mix h (hash_path r.as_path) in
+  let h = mix h (Asn.to_int r.next_hop) in
+  let h = mix h r.local_pref in
+  let h = mix h r.med in
+  let h =
+    mix h (match r.origin with Route.Igp -> 0 | Egp -> 1 | Incomplete -> 2)
+  in
+  List.fold_left (fun h (a, v) -> mix (mix h a) v) h r.communities land max_int
+
+module Path_tbl = Hashtbl.Make (struct
+  type t = Asn.t list
+
+  let equal = equal_path
+  let hash = hash_path
+end)
+
+module Route_tbl = Hashtbl.Make (struct
+  type t = Route.t
+
+  let equal = Route.equal
+  let hash = hash_route
+end)
+
+(* Values carry the canonical representative plus its dense id (assigned in
+   interning order, starting at 0). *)
+let paths : (Asn.t list * int) Path_tbl.t = Path_tbl.create 4096
+let routes : (Route.t * int) Route_tbl.t = Route_tbl.create 4096
+let encodes : string Route_tbl.t = Route_tbl.create 4096
+
+let c_path_hits = Pvr_obs.counter "intern.path.hits"
+let c_path_misses = Pvr_obs.counter "intern.path.misses"
+let c_route_hits = Pvr_obs.counter "intern.route.hits"
+let c_route_misses = Pvr_obs.counter "intern.route.misses"
+let c_encode_hits = Pvr_obs.counter "intern.encode.hits"
+let c_encode_misses = Pvr_obs.counter "intern.encode.misses"
+let g_paths_live = Pvr_obs.gauge "intern.paths.live"
+let g_routes_live = Pvr_obs.gauge "intern.routes.live"
+
+let reset () =
+  with_lock @@ fun () ->
+  Path_tbl.reset paths;
+  Route_tbl.reset routes;
+  Route_tbl.reset encodes;
+  Pvr_obs.set_gauge g_paths_live 0;
+  Pvr_obs.set_gauge g_routes_live 0
+
+let set_enabled b =
+  enabled_flag := b;
+  (* Dropping the toggle releases the canonical storage: a disabled interner
+     holds no routes, so tests and the CLI can flip modes without leaking
+     one mode's table into the other's measurements. *)
+  if not b then reset ()
+
+let enabled () = !enabled_flag
+
+let path p =
+  if not !enabled_flag then p
+  else
+    with_lock @@ fun () ->
+    match Path_tbl.find_opt paths p with
+    | Some (canonical, _) ->
+        Pvr_obs.incr c_path_hits;
+        canonical
+    | None ->
+        Pvr_obs.incr c_path_misses;
+        let id = Path_tbl.length paths in
+        Path_tbl.add paths p (p, id);
+        Pvr_obs.set_gauge g_paths_live (id + 1);
+        p
+
+let intern_route_locked (r : Route.t) =
+  match Route_tbl.find_opt routes r with
+  | Some (canonical, _) ->
+      Pvr_obs.incr c_route_hits;
+      canonical
+  | None ->
+      Pvr_obs.incr c_route_misses;
+      let as_path =
+        match Path_tbl.find_opt paths r.as_path with
+        | Some (canonical, _) ->
+            Pvr_obs.incr c_path_hits;
+            canonical
+        | None ->
+            Pvr_obs.incr c_path_misses;
+            let id = Path_tbl.length paths in
+            Path_tbl.add paths r.as_path (r.as_path, id);
+            Pvr_obs.set_gauge g_paths_live (id + 1);
+            r.as_path
+      in
+      let canonical = if as_path == r.as_path then r else { r with as_path } in
+      let id = Route_tbl.length routes in
+      Route_tbl.add routes canonical (canonical, id);
+      Pvr_obs.set_gauge g_routes_live (id + 1);
+      canonical
+
+let route r = if not !enabled_flag then r else with_lock (fun () -> intern_route_locked r)
+
+let path_id p =
+  if not !enabled_flag then None
+  else
+    with_lock @@ fun () ->
+    match Path_tbl.find_opt paths p with Some (_, id) -> Some id | None -> None
+
+let route_id r =
+  if not !enabled_flag then None
+  else
+    with_lock @@ fun () ->
+    match Route_tbl.find_opt routes r with Some (_, id) -> Some id | None -> None
+
+let encode r =
+  if not !enabled_flag then Route.encode r
+  else
+    with_lock @@ fun () ->
+    match Route_tbl.find_opt encodes r with
+    | Some s ->
+        Pvr_obs.incr c_encode_hits;
+        s
+    | None ->
+        Pvr_obs.incr c_encode_misses;
+        let s = Route.encode r in
+        (* Key by the canonical representative so structurally-equal lookups
+           from any copy of the route hit the same entry. *)
+        Route_tbl.add encodes (intern_route_locked r) s;
+        s
+
+type stats = { live_paths : int; live_routes : int; memoized_encodes : int }
+
+let stats () =
+  with_lock @@ fun () ->
+  {
+    live_paths = Path_tbl.length paths;
+    live_routes = Route_tbl.length routes;
+    memoized_encodes = Route_tbl.length encodes;
+  }

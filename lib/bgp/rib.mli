@@ -29,3 +29,8 @@ val prefixes : t -> Prefix.t list
 
 val in_neighbors : t -> Prefix.t -> Asn.t list
 (** Neighbors currently contributing a route for the prefix. *)
+
+val digest : t -> string
+(** Canonical SHA-256 hex fingerprint of all three tables (sorted by
+    neighbor and prefix).  A pure function of RIB contents: byte-identical
+    whether or not routes are interned. *)

@@ -69,6 +69,42 @@ let pp ppf r =
 
 let to_string r = Format.asprintf "%a" pp r
 
-let equal a b = encode a = encode b
+(* Structural, allocation-free equality with physical fast paths: interned
+   routes (see {!Intern}) share canonical representatives, so the [==]
+   checks short-circuit the common case on the engine's hot diff path.
+   Equivalent to the old [encode a = encode b] — the encoding is injective
+   over exactly these fields — without building two encodings per call. *)
 
-let compare a b = String.compare (encode a) (encode b)
+let rec equal_path p q =
+  p == q
+  ||
+  match (p, q) with
+  | [], [] -> true
+  | a :: p', b :: q' -> Asn.equal a b && equal_path p' q'
+  | _ -> false
+
+let equal a b =
+  a == b
+  || Prefix.equal a.prefix b.prefix
+     && equal_path a.as_path b.as_path
+     && Asn.equal a.next_hop b.next_hop
+     && a.local_pref = b.local_pref && a.med = b.med
+     && origin_code a.origin = origin_code b.origin
+     && List.equal
+          (fun (xa, xv) (ya, yv) -> xa = ya && xv = yv)
+          a.communities b.communities
+
+let compare a b =
+  if a == b then 0
+  else
+    let ( <?> ) c next = if c <> 0 then c else next () in
+    Prefix.compare a.prefix b.prefix <?> fun () ->
+    List.compare Asn.compare a.as_path b.as_path <?> fun () ->
+    Asn.compare a.next_hop b.next_hop <?> fun () ->
+    Int.compare a.local_pref b.local_pref <?> fun () ->
+    Int.compare a.med b.med <?> fun () ->
+    Int.compare (origin_code a.origin) (origin_code b.origin) <?> fun () ->
+    List.compare
+      (fun (xa, xv) (ya, yv) ->
+        Int.compare xa ya <?> fun () -> Int.compare xv yv)
+      a.communities b.communities

@@ -136,6 +136,165 @@ let hierarchy rng ~tiers ~extra_peering =
   | [] -> ());
   !t
 
+(* Seeded power-law internet generator (preferential attachment).
+
+   ASNs are assigned 1..n.  ASes 1..tier1 form a transit-free peering
+   clique; every later AS attaches as a customer of 1-2 earlier ASes chosen
+   with probability proportional to their current provider-link degree (the
+   Barabasi-Albert endpoint-list trick), which yields the heavy-tailed
+   degree distribution of the measured internet.  Because every provider
+   has a smaller ASN than its customer, the customer->provider digraph is
+   acyclic and the graph is connected by construction — the two halves of
+   Gao-Rexford consistency that a generator can get wrong.  Optional
+   degree-biased peer links (IXP-style, more likely at hubs) never affect
+   either property. *)
+let generate rng ?(tier1 = 0) ?(extra_peering = 0.05) ~ases () =
+  if ases < 1 then invalid_arg "Topology.generate: ases < 1";
+  let n = ases in
+  let tier1 =
+    if tier1 > 0 then min tier1 n else min n (max 3 (min 16 (n / 100)))
+  in
+  let t = ref empty in
+  for i = 1 to n do
+    t := add_as !t (Asn.of_int i)
+  done;
+  (* Endpoint list: AS k appears once at birth and once per provider-link
+     endpoint, so a uniform pick over the filled prefix is a pick
+     proportional to attachment degree. *)
+  let ends = Array.make ((5 * n) + (tier1 * tier1) + 16) 0 in
+  let len = ref 0 in
+  let push k =
+    ends.(!len) <- k;
+    incr len
+  in
+  for i = 1 to tier1 do
+    push i;
+    for j = i + 1 to tier1 do
+      t := add_link !t ~a:(Asn.of_int i) ~b:(Asn.of_int j)
+             ~rel_ab:Relationship.Peer;
+      push i;
+      push j
+    done
+  done;
+  for i = tier1 + 1 to n do
+    let nproviders = min (i - 1) (1 + Pvr_crypto.Drbg.uniform_int rng 2) in
+    let chosen = ref Asn.Set.empty in
+    let picked = ref 0 in
+    let attempts = ref 0 in
+    while !picked < nproviders && !attempts < 64 do
+      incr attempts;
+      let p = ends.(Pvr_crypto.Drbg.uniform_int rng !len) in
+      if p < i && not (Asn.Set.mem (Asn.of_int p) !chosen) then begin
+        chosen := Asn.Set.add (Asn.of_int p) !chosen;
+        incr picked;
+        t :=
+          add_link !t ~a:(Asn.of_int i) ~b:(Asn.of_int p)
+            ~rel_ab:Relationship.Provider;
+        push p;
+        push i
+      end
+    done;
+    (* The endpoint list can in principle starve a pick (everything drawn
+       is already chosen); fall back to the lowest unchosen ASN so every AS
+       has at least one provider and the graph stays connected. *)
+    if !picked = 0 then begin
+      let p = 1 in
+      t :=
+        add_link !t ~a:(Asn.of_int i) ~b:(Asn.of_int p)
+          ~rel_ab:Relationship.Provider;
+      push p;
+      push i
+    end;
+    push i
+  done;
+  (* Degree-biased lateral peering below the clique. *)
+  if extra_peering > 0.0 then begin
+    let threshold = int_of_float (extra_peering *. 1000.) in
+    for i = tier1 + 1 to n do
+      if Pvr_crypto.Drbg.uniform_int rng 1000 < threshold then begin
+        let j = ends.(Pvr_crypto.Drbg.uniform_int rng !len) in
+        if
+          j <> i
+          && relationship !t (Asn.of_int i) (Asn.of_int j) = None
+        then
+          t :=
+            add_link !t ~a:(Asn.of_int i) ~b:(Asn.of_int j)
+              ~rel_ab:Relationship.Peer
+      end
+    done
+  end;
+  !t
+
+let providers t x =
+  Asn.Map.fold
+    (fun n rel acc -> if rel = Relationship.Provider then n :: acc else acc)
+    (adj_find t x) []
+
+let tiers t =
+  (* tier 0 = provider-free; otherwise 1 + min provider tier.  Memoized
+     DFS; an in-progress provider (a customer-provider cycle, impossible
+     for generated topologies but expressible via [add_link]) is skipped so
+     the walk terminates on any input. *)
+  let memo = ref Asn.Map.empty in
+  let rec tier_of visiting x =
+    match Asn.Map.find_opt x !memo with
+    | Some v -> Some v
+    | None ->
+        if Asn.Set.mem x visiting then None
+        else
+          let visiting = Asn.Set.add x visiting in
+          let v =
+            match
+              List.filter_map (tier_of visiting) (providers t x)
+            with
+            | [] -> 0
+            | ps -> 1 + List.fold_left min max_int ps
+          in
+          memo := Asn.Map.add x v !memo;
+          Some v
+  in
+  Asn.Set.iter (fun x -> ignore (tier_of Asn.Set.empty x)) t.nodes;
+  !memo
+
+let tier t x = Asn.Map.find_opt x (tiers t)
+
+let tiered_prefixes t =
+  (* Deterministic tier-sized address plan, disjoint from the churn slots
+     in 10.0.0.0/8: tier-1 ASes get a /8 each (octets 16..79), tier-2 a
+     /16 (octets 80..95), everything deeper a /24 (octets 96..255).
+     Within a class, blocks are assigned in ASN order. *)
+  let tiers = tiers t in
+  let next = [| 0; 0; 0 |] in
+  let take c =
+    let k = next.(c) in
+    next.(c) <- k + 1;
+    k
+  in
+  List.map
+    (fun asn ->
+      let cls = min 2 (Option.value (Asn.Map.find_opt asn tiers) ~default:2) in
+      let k = take cls in
+      let prefix =
+        match cls with
+        | 0 ->
+            if k >= 64 then invalid_arg "Topology.tiered_prefixes: > 64 tier-1s";
+            Prefix.make ~addr:((16 + k) lsl 24) ~len:8
+        | 1 ->
+            if k >= 16 * 256 then
+              invalid_arg "Topology.tiered_prefixes: tier-2 space exhausted";
+            Prefix.make
+              ~addr:(((80 + (k lsr 8)) lsl 24) lor ((k land 0xff) lsl 16))
+              ~len:16
+        | _ ->
+            if k >= 160 * 65536 then
+              invalid_arg "Topology.tiered_prefixes: stub space exhausted";
+            Prefix.make
+              ~addr:(((96 + (k lsr 16)) lsl 24) lor ((k land 0xffff) lsl 8))
+              ~len:24
+      in
+      (asn, prefix))
+    (ases t)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d ASes, %d links@," (size t) (List.length (links t));
   List.iter

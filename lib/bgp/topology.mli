@@ -50,4 +50,35 @@ val hierarchy :
     peering link between same-tier ASes.  AS numbers are assigned 1..n from
     the top. *)
 
+val generate :
+  Pvr_crypto.Drbg.t ->
+  ?tier1:int ->
+  ?extra_peering:float ->
+  ases:int ->
+  unit ->
+  t
+(** Seeded power-law internet (preferential attachment).  ASNs 1..[ases]:
+    the first [tier1] (default: scaled with size, 3..16) form a
+    transit-free peering clique; each later AS attaches as a customer of
+    1-2 earlier ASes picked with probability proportional to current
+    degree, plus degree-biased lateral peer links with probability
+    [extra_peering].  Every provider has a smaller ASN than its customer,
+    so the customer/provider digraph is acyclic and the graph connected by
+    construction — Gao-Rexford-consistent labels for any seed.
+    Deterministic for a given DRBG state. *)
+
+(** {2 Tiers and address plans} *)
+
+val tiers : t -> int Asn.Map.t
+(** Tier of every AS: 0 = provider-free, otherwise 1 + the minimum tier
+    among its providers.  (Customer-provider cycles, impossible for
+    generated topologies, are broken deterministically.) *)
+
+val tier : t -> Asn.t -> int option
+
+val tiered_prefixes : t -> (Asn.t * Prefix.t) list
+(** Deterministic per-AS address plan in ASN order, sized by tier: tier-1
+    ASes a /8, tier-2 a /16, deeper ASes a /24 — mutually disjoint and
+    disjoint from the churn workload's 10.0.0.0/8 slots. *)
+
 val pp : Format.formatter -> t -> unit

@@ -35,6 +35,8 @@ let c_rounds = Pvr_obs.counter "engine.rounds"
 let c_skipped = Pvr_obs.counter "engine.vertices.skipped"
 let sign_hits = Pvr_obs.counter "engine.cache.sign.hits"
 let sign_misses = Pvr_obs.counter "engine.cache.sign.misses"
+let g_heap_words = Pvr_obs.gauge "engine.gc.heap_words"
+let g_allocated_words = Pvr_obs.gauge "engine.gc.allocated_words"
 
 (* Per-vertex memo tables.  A vertex is (re)computed by exactly one pool
    task per epoch, so its tables have a single owner at any time; the pool's
@@ -69,6 +71,7 @@ type t = {
   topo : Bgp.Topology.t;
   sim : Bgp.Simulator.t;
   jobs : int;
+  shards : int;
   cache : bool;
   salt_every : int;
   max_path_len : int;
@@ -76,6 +79,9 @@ type t = {
   faults : Pvr.Runner.fault_profile option;
   secret : string;
   ases : Bgp.Asn.t list; (* sorted *)
+  nbrs : (Bgp.Asn.t, Bgp.Asn.t list) Hashtbl.t;
+      (* per-AS sorted neighbor ASNs; the topology is immutable, so this is
+         computed once instead of per prover per epoch in [collect] *)
   states : (string, vstate) Hashtbl.t;
   mutable epoch_no : int;
   mutable chain : string;
@@ -84,7 +90,7 @@ type t = {
 
 let chain0 = C.Sha256.digest_hex "pvr-engine-report-v1"
 
-let create ?(jobs = 1) ?(cache = true) ?(salt_every = 8)
+let create ?(jobs = 1) ?(shards = 0) ?(cache = true) ?(salt_every = 8)
     ?(max_path_len = Pvr.Proto_min.default_max_path_len)
     ?(behaviour = Pvr.Adversary.Honest) ?faults rng keyring ~topology ~sim ()
     =
@@ -92,11 +98,19 @@ let create ?(jobs = 1) ?(cache = true) ?(salt_every = 8)
      is never consulted again, so engine output is a function of this
      secret alone. *)
   let secret = C.Drbg.generate rng 32 in
+  let nbrs = Hashtbl.create 256 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace nbrs a
+        (List.map fst (Bgp.Topology.neighbors topology a)
+        |> List.sort Bgp.Asn.compare))
+    (Bgp.Topology.ases topology);
   {
     keyring;
     topo = topology;
     sim;
     jobs = max 1 jobs;
+    shards = max 0 shards;
     cache;
     salt_every = max 1 salt_every;
     max_path_len;
@@ -104,6 +118,7 @@ let create ?(jobs = 1) ?(cache = true) ?(salt_every = 8)
     faults;
     secret;
     ases = List.sort Bgp.Asn.compare (Bgp.Topology.ases topology);
+    nbrs;
     states = Hashtbl.create 256;
     epoch_no = 0;
     chain = chain0;
@@ -117,6 +132,18 @@ let live_vertices t = t.live
 let vertex_key v =
   Bgp.Asn.to_string v.vprover ^ "|" ^ Bgp.Prefix.to_string v.vprefix
 
+(* Shard of a vertex: FNV-1a over the vertex key, reduced mod the shard
+   count.  A pure function of the vertex (never of scheduling state), so
+   with [shards > 0] each (prover, prefix) is pinned to the same shard —
+   and hence the same owning domain — for the life of the run. *)
+let shard_of ~shards v =
+  let h =
+    String.fold_left
+      (fun h c -> (h lxor Char.code c) * 0x100000001b3 land max_int)
+      0x3bf29ce484222325 (vertex_key v)
+  in
+  h mod shards
+
 let salt t ~period =
   C.Hmac.mac ~key:t.secret ("engine-salt|" ^ string_of_int period)
 
@@ -128,13 +155,16 @@ let fresh_vcache t ~period =
     exp_memo = Hashtbl.create 8;
   }
 
+(* [Intern.encode] is byte-identical to [Route.encode]; with interning on
+   it is memoized per canonical route, which removes the dominant per-epoch
+   allocation — this digest runs for every live vertex every epoch. *)
 let snapshot_digest sn =
   C.Sha256.digest_hex
     (String.concat "\x00"
        (Bgp.Asn.to_string sn.sn_beneficiary
-       :: Bgp.Route.encode sn.sn_export
+       :: Bgp.Intern.encode sn.sn_export
        :: List.concat_map
-            (fun (n, r) -> [ Bgp.Asn.to_string n; Bgp.Route.encode r ])
+            (fun (n, r) -> [ Bgp.Asn.to_string n; Bgp.Intern.encode r ])
             sn.sn_inputs))
 
 (* The simulator's Adj-RIB-Out entry carries the prover's prepended path;
@@ -157,8 +187,7 @@ let collect t =
     (fun prover ->
       let rib = Bgp.Simulator.rib t.sim prover in
       let neighbors =
-        List.map fst (Bgp.Topology.neighbors t.topo prover)
-        |> List.sort Bgp.Asn.compare
+        Option.value (Hashtbl.find_opt t.nbrs prover) ~default:[]
       in
       let prefixes = List.sort Bgp.Prefix.compare (Bgp.Rib.prefixes rib) in
       List.filter_map
@@ -195,7 +224,7 @@ let collect t =
                           ~neighbor:n prefix
                       with
                       | Some out ->
-                          let route = unprepend prover out in
+                          let route = Bgp.Intern.route (unprepend prover out) in
                           if
                             List.exists
                               (fun (_, r) -> Bgp.Route.equal r route)
@@ -458,7 +487,22 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
     |> Array.mapi (fun i (sn, _, _) ->
            fun () -> run_round t ~wire_epoch caches.(i) sn)
   in
-  let results = Pool.run ~jobs:t.jobs tasks in
+  let results =
+    if t.shards > 0 then begin
+      (* Static per-(prover,prefix) partition: no cross-domain work
+         stealing on the dirty set.  Task order — and therefore the merged
+         outcome order and the report digest — is identical to the dynamic
+         pool's. *)
+      let shard_ids =
+        Array.of_list
+          (List.map
+             (fun (sn, _, _) -> shard_of ~shards:t.shards sn.sn_vertex)
+             dirty)
+      in
+      Pool.run_sharded ~jobs:t.jobs ~shard:(fun i -> shard_ids.(i)) tasks
+    end
+    else Pool.run ~jobs:t.jobs tasks
+  in
   on_phase "verify";
   (* Merge back in vertex order; record fresh state for recomputed vertices,
      carry the previous outcome for clean ones. *)
@@ -514,6 +558,12 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
   Pvr_obs.incr c_epochs;
   Pvr_obs.add c_rounds n_dirty;
   Pvr_obs.add c_skipped n_skipped;
+  if Pvr_obs.enabled () then begin
+    let s = Gc.quick_stat () in
+    Pvr_obs.set_gauge g_heap_words s.Gc.heap_words;
+    Pvr_obs.set_gauge g_allocated_words
+      (int_of_float (s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words))
+  end;
   let detected =
     List.fold_left (fun n o -> if o.vx_detected then n + 1 else n) 0 outcomes
   in
@@ -575,17 +625,17 @@ let rib_digest t =
         (fun p ->
           add ("p:" ^ Bgp.Prefix.to_string p);
           (match Bgp.Rib.get_best rib p with
-          | Some r -> add ("b:" ^ Bgp.Route.encode r)
+          | Some r -> add ("b:" ^ Bgp.Intern.encode r)
           | None -> ());
           List.iter
             (fun n ->
               (match Bgp.Rib.get_in rib ~neighbor:n p with
               | Some r ->
-                  add ("i:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Route.encode r)
+                  add ("i:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Intern.encode r)
               | None -> ());
               match Bgp.Rib.get_out rib ~neighbor:n p with
               | Some r ->
-                  add ("o:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Route.encode r)
+                  add ("o:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Intern.encode r)
               | None -> ())
             neighbors)
         (List.sort Bgp.Prefix.compare (Bgp.Rib.prefixes rib)))

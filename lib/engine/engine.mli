@@ -74,6 +74,7 @@ type epoch_report = {
 
 val create :
   ?jobs:int ->
+  ?shards:int ->
   ?cache:bool ->
   ?salt_every:int ->
   ?max_path_len:int ->
@@ -85,9 +86,15 @@ val create :
   sim:Bgp.Simulator.t ->
   unit ->
   t
-(** [jobs] (default 1) worker domains; [cache] (default [true]) — off means
-    every live vertex is recomputed every epoch with no memo tables (the
-    E11 baseline); [salt_every] (default 8) epochs per salt period;
+(** [jobs] (default 1) worker domains; [shards] (default 0 = dynamic
+    scheduling) — when positive, each (prover, prefix) vertex is pinned to
+    shard [hash(vertex) mod shards] and domain [shard mod jobs] via
+    {!Pool.run_sharded}, so no vertex ever migrates between domains and
+    there is no work stealing on the dirty set; the report digest is
+    byte-identical for any [shards]/[jobs] combination; [cache] (default
+    [true]) — off means every live vertex is recomputed every epoch with
+    no memo tables (the E11 baseline); [salt_every] (default 8) epochs per
+    salt period;
     [behaviour] (default [Honest]) is injected at {e every} prover;
     [faults] (default none) routes each round through
     {!Pvr.Runner.min_round_faulty}.  The master seed is drawn from the

@@ -33,3 +33,32 @@ let run ~jobs tasks =
         | Pending -> assert false (* next passed n only after every slot *))
       results
   end
+
+let run_sharded ~jobs ~shard tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then run_inline tasks
+  else begin
+    let jobs = min jobs n in
+    let results = Array.make n Pending in
+    (* Static ownership: domain d executes exactly the tasks whose shard
+       maps to d, in task order.  No atomic handout, no work stealing —
+       each domain touches a disjoint set of slots, and the shard function
+       (not scheduling luck) decides placement, so a task lands on the
+       same owner for any interleaving. *)
+    let worker d () =
+      for i = 0 to n - 1 do
+        if (shard i land max_int) mod jobs = d then
+          results.(i) <-
+            (match tasks.(i) () with v -> Done v | exception e -> Failed e)
+      done
+    in
+    let domains = Array.init jobs (fun d -> Domain.spawn (worker d)) in
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed e -> raise e
+        | Pending ->
+            assert false (* every i maps to exactly one domain in 0..jobs-1 *))
+      results
+  end

@@ -18,3 +18,16 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
 (** [jobs <= 1] (or fewer than two tasks) runs inline on the calling
     domain, in order — byte-identical results by construction.  [jobs] is
     otherwise capped at the number of tasks. *)
+
+val run_sharded :
+  jobs:int -> shard:(int -> int) -> (unit -> 'a) array -> 'a array
+(** Like {!run}, but with {e static ownership} instead of an atomic
+    handout: domain [d] executes exactly the tasks [i] with
+    [shard i mod jobs = d], in task order, and no task ever migrates —
+    there is no cross-domain work stealing.  The engine shards by
+    (prover, prefix), so a vertex is always computed by the domain owning
+    its shard, its cache locality survives across epochs, and placement is
+    a pure function of the shard map rather than scheduling luck.  Results
+    are still returned in task order; [shard] may return any int (it is
+    masked non-negative).  Load balance is the caller's problem — a skewed
+    shard function leaves domains idle. *)

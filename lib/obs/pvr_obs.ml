@@ -39,6 +39,25 @@ let add c n =
 
 let value c = Atomic.get c.c_value
 
+(* ---- gauges -------------------------------------------------------------- *)
+
+type gauge = { g_name : string; g_value : int Atomic.t }
+
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  with_lock @@ fun () ->
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = Atomic.make 0 } in
+      Hashtbl.add gauges_tbl name g;
+      g
+
+let set_gauge g v = if !enabled_flag then Atomic.set g.g_value v
+
+let gauge_read g = Atomic.get g.g_value
+
 (* ---- histograms ---------------------------------------------------------- *)
 
 (* Bucket [i] counts durations d with 2^(i-1) < d_ns <= 2^i; bucket 0 holds
@@ -115,6 +134,7 @@ let with_span name f =
 let reset_all () =
   with_lock @@ fun () ->
   Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters_tbl;
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0) gauges_tbl;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.h_buckets 0 n_buckets 0;
@@ -219,6 +239,7 @@ let quantile stats q =
 module Snapshot = struct
   type t = {
     s_counters : (string * int) list; (* sorted by name *)
+    s_gauges : (string * int) list; (* sorted by name *)
     s_histograms : (string * histogram_stats) list; (* sorted by name *)
   }
 
@@ -228,6 +249,12 @@ module Snapshot = struct
       Hashtbl.fold
         (fun name c acc -> (name, Atomic.get c.c_value) :: acc)
         counters_tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let gs =
+      Hashtbl.fold
+        (fun name g acc -> (name, Atomic.get g.g_value) :: acc)
+        gauges_tbl []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
     let hs =
@@ -250,12 +277,17 @@ module Snapshot = struct
         histograms_tbl []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
-    { s_counters = cs; s_histograms = hs }
+    { s_counters = cs; s_gauges = gs; s_histograms = hs }
 
   let counters t = t.s_counters
 
   let counter_value t name =
     Option.value (List.assoc_opt name t.s_counters) ~default:0
+
+  let gauges t = t.s_gauges
+
+  let gauge_value t name =
+    Option.value (List.assoc_opt name t.s_gauges) ~default:0
 
   let histograms t = t.s_histograms
 
@@ -291,7 +323,8 @@ module Snapshot = struct
                 } ))
         after.s_histograms
     in
-    { s_counters = cs; s_histograms = hs }
+    (* Gauges are levels, not rates: a diff keeps the [after] reading. *)
+    { s_counters = cs; s_gauges = after.s_gauges; s_histograms = hs }
 
   let to_json t =
     let ms x = Json.Float (x *. 1000.0) in
@@ -299,6 +332,9 @@ module Snapshot = struct
       [
         ( "counters",
           Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) t.s_counters)
+        );
+        ( "gauges",
+          Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) t.s_gauges)
         );
         ( "histograms",
           Json.Obj

@@ -40,6 +40,22 @@ val add : counter -> int -> unit
 
 val value : counter -> int
 
+(** {2 Gauges} *)
+
+type gauge
+(** A named {e level} — the current size of something (live interned
+    routes, heap words) rather than a monotonic count.  Writes are atomic
+    stores, so gauges may be set from any domain. *)
+
+val gauge : string -> gauge
+(** Get or create the registered gauge with that name.  Gauge names use
+    dotted paths, e.g. ["intern.routes.live"] or ["engine.gc.heap_words"]. *)
+
+val set_gauge : gauge -> int -> unit
+(** Overwrite the gauge's current value.  No-op while disabled. *)
+
+val gauge_read : gauge -> int
+
 (** {2 Latency histograms and spans} *)
 
 type histogram
@@ -102,16 +118,24 @@ module Snapshot : sig
   val counter_value : t -> string -> int
   (** 0 for names never registered. *)
 
+  val gauges : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val gauge_value : t -> string -> int
+  (** 0 for names never registered. *)
+
   val histograms : t -> (string * histogram_stats) list
 
   val diff : before:t -> after:t -> t
   (** Per-name subtraction of counts, sums and buckets — the activity that
       happened between the two captures.  [hs_min]/[hs_max] are taken from
       [after] (approximation: log-bucketed histograms cannot subtract
-      extrema). *)
+      extrema).  Gauges are levels, not rates: the diff carries the
+      [after] readings unchanged. *)
 
   val to_json : t -> Json.t
   (** [{"counters": {name: int, ...},
+        "gauges": {name: int, ...},
         "histograms": {name: {"count", "sum_ms", "min_ms", "max_ms",
                               "p50_ms", "p95_ms"}, ...}}] *)
 end

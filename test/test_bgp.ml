@@ -589,6 +589,75 @@ let update_gen_batches_partition () =
   check_int "no event lost" (List.length events)
     (List.fold_left (fun acc b -> acc + List.length b) 0 batches)
 
+let sim_single_as_only_route () =
+  (* Degenerate internet: one AS, no links.  Originating and withdrawing
+     its only route must round-trip without stale state or messages. *)
+  let t = G.Topology.add_as G.Topology.empty (asn 1) in
+  let sim = G.Simulator.create t in
+  let p = G.Prefix.of_string "10.1.0.0/24" in
+  G.Simulator.originate sim ~asn:(asn 1) p;
+  let msgs = G.Simulator.run sim in
+  check_int "no neighbors, no messages" 0 msgs;
+  check_bool "originator holds its route" true
+    (G.Simulator.best_route sim ~asn:(asn 1) p <> None);
+  check_int "no candidates received" 0
+    (List.length (G.Simulator.received_routes sim ~asn:(asn 1) p));
+  G.Simulator.withdraw_origin sim ~asn:(asn 1) p;
+  let _ = G.Simulator.run sim in
+  check_bool "withdrawing the only route empties Loc-RIB" true
+    (G.Simulator.best_route sim ~asn:(asn 1) p = None)
+
+let update_gen_single_origin_churn () =
+  (* Churn over a single-AS topology: anycast slots need two origins, and a
+     full-table flap withdraws the only live route. *)
+  let t = G.Topology.add_as G.Topology.empty (asn 1) in
+  let sim = G.Simulator.create t in
+  let churn =
+    G.Update_gen.Churn.create ~anycast:3 ~origins:[ asn 1 ]
+      ~prefixes_per_origin:1 ()
+  in
+  check_int "anycast ignored with one origin" 1 (G.Update_gen.Churn.size churn);
+  check_int "seeds the only slot" 1
+    (List.length (G.Update_gen.Churn.seed churn sim));
+  check_int "live after seed" 1 (G.Update_gen.Churn.live_count churn);
+  let _ = G.Simulator.run sim in
+  let rng = C.Drbg.of_int_seed 5 in
+  (match G.Update_gen.Churn.step rng ~turnover:1.0 churn sim with
+  | [ G.Update_gen.Churn.Withdraw (a, _) ] ->
+      check_bool "withdraws at the origin" true (G.Asn.equal a (asn 1))
+  | _ -> Alcotest.fail "expected exactly one withdrawal");
+  let _ = G.Simulator.run sim in
+  check_int "nothing live after full flap" 0
+    (G.Update_gen.Churn.live_count churn)
+
+let sim_peer_clique_no_transit () =
+  (* All-peer clique: under Gao–Rexford, peer-learned routes are never
+     re-exported, so every AS sees exactly the origin's direct announcement
+     and one-hop paths are all that exist. *)
+  let members = List.init 5 (fun i -> asn (i + 1)) in
+  let t = G.Topology.clique members in
+  let sim = G.Simulator.create t in
+  let p = G.Prefix.of_string "203.0.113.0/24" in
+  G.Simulator.originate sim ~asn:(asn 1) p;
+  let _ = G.Simulator.run sim in
+  List.iter
+    (fun a ->
+      if not (G.Asn.equal a (asn 1)) then begin
+        (match G.Simulator.best_route sim ~asn:a p with
+        | Some r ->
+            check_bool
+              (Printf.sprintf "AS %d best path is direct" (G.Asn.to_int a))
+              true
+              (r.G.Route.as_path = [ asn 1 ])
+        | None -> Alcotest.failf "AS %d has no route" (G.Asn.to_int a));
+        check_int
+          (Printf.sprintf "AS %d saw only the direct announcement"
+             (G.Asn.to_int a))
+          1
+          (List.length (G.Simulator.received_routes sim ~asn:a p))
+      end)
+    members
+
 (* ---- Gao inference ------------------------------------------------------------------------ *)
 
 let gao_inference_on_hierarchy () =
@@ -627,6 +696,20 @@ let gao_inference_empty () =
     (G.Gao_inference.infer ~degree:(fun _ -> 0) [] = []);
   check_bool "accuracy of nothing" true
     (G.Gao_inference.accuracy ~truth:G.Topology.empty [] = 0.0)
+
+let gao_inference_edges () =
+  let a = asn 1 and b = asn 2 in
+  check_bool "singleton paths carry no edges" true
+    (G.Gao_inference.infer ~degree:(fun _ -> 1) [ [ a ]; [ b ] ] = []);
+  (* The same edge observed from both directions with equal degrees splits
+     the vote evenly, which the attack reads as peering. *)
+  match G.Gao_inference.infer ~degree:(fun _ -> 1) [ [ a; b ]; [ b; a ] ] with
+  | [ (x, y, rel) ] ->
+      check_bool "edge normalized to (low, high)" true
+        (G.Asn.equal x a && G.Asn.equal y b);
+      check_bool "evenly split votes infer peering" true
+        (G.Relationship.equal rel G.Relationship.Peer)
+  | _ -> Alcotest.fail "expected exactly one inferred edge"
 
 let suite =
   [
@@ -673,6 +756,10 @@ let suite =
     ("sim GOOD GADGET converges", `Quick, sim_good_gadget_converges);
     ("update gen sorted and bursty", `Quick, update_gen_sorted_and_bursty);
     ("update gen batches partition", `Quick, update_gen_batches_partition);
+    ("sim single-AS only route", `Quick, sim_single_as_only_route);
+    ("update gen single-origin churn", `Quick, update_gen_single_origin_churn);
+    ("sim all-peer clique no transit", `Quick, sim_peer_clique_no_transit);
     ("gao inference on hierarchy", `Quick, gao_inference_on_hierarchy);
     ("gao inference empty", `Quick, gao_inference_empty);
+    ("gao inference edge cases", `Quick, gao_inference_edges);
   ]
