@@ -619,6 +619,184 @@ let run_crashsoak p kills checkpoint_every dir_opt no_corrupt keep stats =
            with Sys_error _ | Unix.Unix_error _ -> ());
         code)
 
+(* ---- adversary --------------------------------------------------------------
+
+   The E14 surface as a command: run the strategy zoo over a generated
+   power-law internet whose promises span the tiered /8–/16–/24 address
+   plan, and print one deterministic matrix line per (strategy, prefix
+   family).  Every vertex routes through the fault runner (perfect links)
+   so the disclosure ledger and leakage audit are live even for honest
+   plans.  Exit 1 on any undetected cheat whose witnessing messages were
+   delivered, any non-complying cheat not convicted, any convicted
+   stonewalling-but-complying prover, or any honest vertex with excess
+   bits. *)
+
+type row = {
+  mutable r_vertices : int;
+  mutable r_cheats : int;
+  mutable r_detected : int;
+  mutable r_convicted : int;
+  mutable r_leaked : int;
+  mutable r_excess : int;
+}
+
+let family_lens = [ 8; 16; 24 ]
+
+let resolve_strategies spec coalition =
+  let override s =
+    match (s, coalition) with
+    | P.Adversary.Coalition { behaviour; _ }, Some size ->
+        P.Adversary.Coalition { size; behaviour }
+    | s, _ -> s
+  in
+  if spec = "all" then Ok (List.map override P.Adversary.all_strategies)
+  else
+    match P.Adversary.strategy_of_string spec with
+    | Some s -> Ok [ override s ]
+    | None -> Error spec
+
+let run_adversary spec coalition seed ases epochs jobs bits stats =
+  match resolve_strategies spec coalition with
+  | Error s ->
+      Printf.eprintf "pvr adversary: unknown strategy %S; one of: all, %s\n%!"
+        s
+        (String.concat ", "
+           (List.map P.Adversary.strategy_to_string P.Adversary.all_strategies));
+      2
+  | Ok strategies ->
+      with_stats stats @@ fun () ->
+      let module E = Pvr_engine.Engine in
+      let master = C.Drbg.of_int_seed seed in
+      let topo =
+        G.Topology.generate
+          (C.Drbg.split master "topology")
+          ~extra_peering:0.1 ~ases ()
+      in
+      let plan = G.Topology.tiered_prefixes topo in
+      Printf.printf "Generating %d RSA-%d keys...\n%!" (G.Topology.size topo)
+        bits;
+      let keyring =
+        P.Keyring.create ~bits (C.Drbg.split master "keys")
+          (G.Topology.ases topo)
+      in
+      Printf.printf
+        "adversary: seed=%d ases=%d links=%d epochs=%d prefixes=%d \
+         strategies=%d\n%!"
+        seed (G.Topology.size topo)
+        (List.length (G.Topology.links topo))
+        epochs (List.length plan) (List.length strategies);
+      let violations = ref 0 in
+      let violation fmt =
+        Printf.ksprintf
+          (fun msg ->
+            incr violations;
+            Printf.printf "VIOLATION %s\n" msg)
+          fmt
+      in
+      List.iter
+        (fun strategy ->
+          let name = P.Adversary.strategy_to_string strategy in
+          let complying =
+            match strategy with
+            | P.Adversary.Timing_probe _ -> true
+            | _ -> false
+          in
+          let sim = G.Simulator.create topo in
+          List.iter (fun (a, p) -> G.Simulator.originate sim ~asn:a p) plan;
+          let eng =
+            E.create ~jobs ~salt_every:1 ~strategy
+              ~faults:P.Runner.perfect_faults
+              (C.Drbg.split master ("engine-" ^ name))
+              keyring ~topology:topo ~sim ()
+          in
+          let rows = Hashtbl.create 4 in
+          let row len =
+            match Hashtbl.find_opt rows len with
+            | Some r -> r
+            | None ->
+                let r =
+                  {
+                    r_vertices = 0;
+                    r_cheats = 0;
+                    r_detected = 0;
+                    r_convicted = 0;
+                    r_leaked = 0;
+                    r_excess = 0;
+                  }
+                in
+                Hashtbl.replace rows len r;
+                r
+          in
+          for _ = 1 to epochs do
+            let r = E.epoch eng in
+            List.iter
+              (fun o ->
+                let len = o.E.vx_vertex.E.vprefix.G.Prefix.len in
+                let vertex =
+                  Printf.sprintf "%s %s"
+                    (G.Asn.to_string o.E.vx_vertex.E.vprover)
+                    (G.Prefix.to_string o.E.vx_vertex.E.vprefix)
+                in
+                let row = row len in
+                row.r_vertices <- row.r_vertices + 1;
+                row.r_leaked <- row.r_leaked + o.E.vx_leaked_bits;
+                row.r_excess <- row.r_excess + o.E.vx_excess_bits;
+                if o.E.vx_behaviour <> P.Adversary.Honest then begin
+                  row.r_cheats <- row.r_cheats + 1;
+                  if o.E.vx_detected then row.r_detected <- row.r_detected + 1;
+                  if o.E.vx_convicted then
+                    row.r_convicted <- row.r_convicted + 1;
+                  let required =
+                    match o.E.vx_net with
+                    | Some nr ->
+                        P.Runner.detection_expected o.E.vx_behaviour
+                          ~beneficiary:o.E.vx_beneficiary ~routes:o.E.vx_routes
+                          nr
+                    | None -> false
+                  in
+                  if required && not o.E.vx_detected then
+                    violation "undetected cheat strategy=%s vertex=%s" name
+                      vertex;
+                  if complying then begin
+                    if o.E.vx_convicted then
+                      violation
+                        "stonewalling-but-complying prover convicted \
+                         strategy=%s vertex=%s"
+                        name vertex
+                  end
+                  else if required && not o.E.vx_convicted then
+                    violation "unconvicted cheat strategy=%s vertex=%s" name
+                      vertex
+                end
+                else begin
+                  if o.E.vx_convicted then
+                    violation "honest prover convicted strategy=%s vertex=%s"
+                      name vertex;
+                  if o.E.vx_excess_bits > 0 then
+                    violation
+                      "honest vertex leaks %d excess bit(s) strategy=%s \
+                       vertex=%s"
+                      o.E.vx_excess_bits name vertex
+                end)
+              r.E.ep_outcomes
+          done;
+          List.iter
+            (fun len ->
+              match Hashtbl.find_opt rows len with
+              | None -> ()
+              | Some r ->
+                  Printf.printf
+                    "strategy=%-22s family=/%-2d vertices=%-3d cheats=%-3d \
+                     detected=%-3d convicted=%-3d leaked_bits=%-5d \
+                     excess_bits=%d\n"
+                    name len r.r_vertices r.r_cheats r.r_detected
+                    r.r_convicted r.r_leaked r.r_excess)
+            family_lens;
+          Printf.printf "strategy=%-22s digest=%s\n" name (E.digest eng))
+        strategies;
+      Printf.printf "adversary summary: violations=%d\n" !violations;
+      if !violations > 0 then 1 else 0
+
 (* ---- check ----------------------------------------------------------------- *)
 
 let run_check file =
@@ -1086,6 +1264,54 @@ let topology_cmd =
     (Cmd.info "topology" ~doc:"Generate a topology and run BGP to convergence")
     Term.(const run_topology $ tiers $ peering $ ases $ seed $ stats_arg)
 
+let adversary_cmd =
+  let strategy =
+    Arg.(
+      value & opt string "all"
+      & info [ "strategy" ]
+          ~doc:
+            "Adversary strategy, or $(b,all) for the whole zoo.  Canonical \
+             names: honest, coalition-false-bits, cross-shard-equivocate, \
+             adaptive-low-value, timing-probe; any single behaviour name \
+             (e.g. equivocate) selects a sweep of it.")
+  in
+  let coalition =
+    Arg.(
+      value & opt (some int) None
+      & info [ "coalition" ]
+          ~doc:"Override the coalition size of coalition strategies.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Master DRBG seed; the topology, keys, per-vertex plans and \
+             every printed matrix line are a deterministic function of it.")
+  in
+  let ases =
+    Arg.(
+      value & opt int 16
+      & info [ "ases" ] ~doc:"Power-law internet size (ASes).")
+  in
+  let epochs =
+    Arg.(value & opt int 2 & info [ "epochs" ] ~doc:"Verification epochs.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Worker domains.")
+  in
+  let bits =
+    Arg.(value & opt int 512 & info [ "bits" ] ~doc:"RSA modulus size.")
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:
+         "Run the adversary strategy zoo and print the E14 detection/leakage \
+          matrix")
+    Term.(
+      const run_adversary $ strategy $ coalition $ seed $ ases $ epochs $ jobs
+      $ bits $ stats_arg)
+
 let primitives_cmd =
   let bits =
     Arg.(value & opt int 1024 & info [ "bits" ] ~doc:"RSA modulus size.")
@@ -1106,6 +1332,7 @@ let () =
         soak_cmd;
         engine_cmd;
         crashsoak_cmd;
+        adversary_cmd;
         check_cmd;
         topology_cmd;
         primitives_cmd;

@@ -62,8 +62,9 @@ let sign_export keyring ~prover ~epoch ~beneficiary ~route ~provenance =
       exp_provenance = provenance;
     }
 
-let run_min behaviour ?(max_path_len = Proto_min.default_max_path_len) rng
-    keyring ~prover ~beneficiary ~epoch ~prefix ~inputs =
+let run_min behaviour ?(max_path_len = Proto_min.default_max_path_len)
+    ?(comply = false) rng keyring ~prover ~beneficiary ~epoch ~prefix ~inputs
+    =
   Pvr_obs.with_span "adversary.run_min" @@ fun () ->
   let inputs =
     List.filter
@@ -222,7 +223,9 @@ let run_min behaviour ?(max_path_len = Proto_min.default_max_path_len) rng
             bd_openings = all_openings honest_openings;
             bd_export = None;
           };
-        respond = (fun ~accused:_ _ -> Judge.No_response);
+        respond =
+          (if comply then honest_respond
+           else fun ~accused:_ _ -> Judge.No_response);
       }
   | Refuse_disclosure ->
       (* Withhold the opening from the first providing neighbor. *)
@@ -239,7 +242,9 @@ let run_min behaviour ?(max_path_len = Proto_min.default_max_path_len) rng
             bd_openings = all_openings honest_openings;
             bd_export = honest_export;
           };
-        respond = (fun ~accused:_ _ -> Judge.No_response);
+        respond =
+          (if comply then honest_respond
+           else fun ~accused:_ _ -> Judge.No_response);
       }
   | Forge_provenance ->
       (* Export a fabricated route of minimal length whose provenance
@@ -297,3 +302,123 @@ let expected_detectors behaviour ~inputs =
       match inputs with (n, _) :: _ -> [ Provider n ] | [] -> []
     end
   | Forge_provenance -> [ Beneficiary ]
+
+(* ---- the strategy zoo ------------------------------------------------------
+
+   A strategy is a seeded, deterministic policy mapping each engine vertex
+   (prover, prefix) at each wire epoch to a per-round behaviour — the same
+   shape as a [Pvr_net] fault profile, but over protocol conduct instead of
+   message delivery.  All pseudo-randomness is an HMAC of the strategy seed
+   and the vertex coordinates, so a plan never depends on evaluation order,
+   scheduling, or caching. *)
+
+type strategy =
+  | Sweep of behaviour
+  | Coalition of { size : int; behaviour : behaviour }
+  | Cross_shard of { shards : int; target : int }
+  | Adaptive_low_value of { cheat : behaviour }
+  | Timing_probe of { period : int }
+
+type round_plan = {
+  rp_behaviour : behaviour;
+  rp_comply : bool;
+  rp_coalition : int;
+}
+
+let honest_plan = { rp_behaviour = Honest; rp_comply = false; rp_coalition = 1 }
+
+let all_strategies =
+  [
+    Sweep Honest;
+    Coalition { size = 2; behaviour = False_bits };
+    Cross_shard { shards = 4; target = 1 };
+    Adaptive_low_value { cheat = Export_nonminimal };
+    Timing_probe { period = 2 };
+  ]
+
+let strategy_to_string = function
+  | Sweep Honest -> "honest"
+  | Sweep b -> "sweep-" ^ to_string b
+  | Coalition { behaviour; _ } -> "coalition-" ^ to_string behaviour
+  | Cross_shard _ -> "cross-shard-equivocate"
+  | Adaptive_low_value _ -> "adaptive-low-value"
+  | Timing_probe _ -> "timing-probe"
+
+let behaviour_of_string s = List.find_opt (fun b -> to_string b = s) all
+
+let strategy_of_string s =
+  let after p =
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match s with
+  | "honest" -> Some (Sweep Honest)
+  | "cross-shard-equivocate" -> Some (Cross_shard { shards = 4; target = 1 })
+  | "adaptive-low-value" ->
+      Some (Adaptive_low_value { cheat = Export_nonminimal })
+  | "timing-probe" -> Some (Timing_probe { period = 2 })
+  | _ -> begin
+      match after "sweep-" with
+      | Some b -> Option.map (fun b -> Sweep b) (behaviour_of_string b)
+      | None -> begin
+          match after "coalition-" with
+          | Some b ->
+              Option.map
+                (fun behaviour -> Coalition { size = 2; behaviour })
+                (behaviour_of_string b)
+          | None -> Option.map (fun b -> Sweep b) (behaviour_of_string s)
+        end
+    end
+
+let obs_plans = Pvr_obs.counter "adversary.plans"
+let obs_cheats = Pvr_obs.counter "adversary.cheats"
+let obs_stonewalls = Pvr_obs.counter "adversary.stonewalls"
+
+(* A seeded hash of the vertex coordinates in [0, m).  [epoch = 0] keys
+   strategies that pick a fixed vertex subset for the whole run. *)
+let vertex_hash ~seed ~tag ~prover ~prefix ~epoch m =
+  let msg =
+    Printf.sprintf "%s|%d|%s|%d" tag (Bgp.Asn.to_int prover)
+      (Bgp.Prefix.to_string prefix) epoch
+  in
+  let d = C.Hmac.mac ~key:seed msg in
+  let n =
+    (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
+  in
+  n mod m
+
+let plan_round strategy ~seed ~prover ~prefix ~epoch =
+  Pvr_obs.incr obs_plans;
+  let plan =
+    match strategy with
+    | Sweep b -> { honest_plan with rp_behaviour = b }
+    | Coalition { size; behaviour } ->
+        { rp_behaviour = behaviour; rp_comply = false;
+          rp_coalition = max 1 size }
+    | Cross_shard { shards; target } ->
+        let shards = max 1 shards in
+        let target = ((target mod shards) + shards) mod shards in
+        if
+          vertex_hash ~seed ~tag:"cross-shard" ~prover ~prefix ~epoch:0 shards
+          = target
+        then { honest_plan with rp_behaviour = Equivocate }
+        else honest_plan
+    | Adaptive_low_value { cheat } ->
+        (* Cheat only on low-value (most-specific, /24-tier) prefixes,
+           staying honest on the /8 and /16 families. *)
+        if prefix.Bgp.Prefix.len >= 24 then
+          { honest_plan with rp_behaviour = cheat }
+        else honest_plan
+    | Timing_probe { period } ->
+        let period = max 1 period in
+        if vertex_hash ~seed ~tag:"timing" ~prover ~prefix ~epoch period = 0
+        then
+          { rp_behaviour = Suppress_export; rp_comply = true; rp_coalition = 1 }
+        else honest_plan
+  in
+  if plan.rp_behaviour <> Honest then
+    if plan.rp_comply then Pvr_obs.incr obs_stonewalls
+    else Pvr_obs.incr obs_cheats;
+  plan

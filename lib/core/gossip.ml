@@ -29,9 +29,14 @@ let create keyring = { keyring; held = Bgp.Asn.Map.empty }
 let holder_map t holder =
   Option.value (Bgp.Asn.Map.find_opt holder t.held) ~default:Slot_map.empty
 
-let receive t ~holder commit =
+let receive ?ledger t ~holder commit =
   if not (Wire.verify t.keyring ~encode:Wire.encode_commit commit) then None
   else begin
+    (* Commitments are hiding: the holder observes traffic but learns zero
+       bits, which the disclosure ledger records as an opaque event. *)
+    Option.iter
+      (fun l -> Leakage.Ledger.record_opaque l ~viewer:holder)
+      ledger;
     let slot = Slot.of_commit commit in
     let m = holder_map t holder in
     match Slot_map.find_opt slot m with
@@ -81,7 +86,7 @@ type digest = Wire.commit Wire.signed list
 
 let digest_of_map m = List.map snd (Slot_map.bindings m)
 
-let run_round ?net t ~edges =
+let run_round ?net ?ledger t ~edges =
   (* Synchronous round: every edge transmits the views the holders had when
      the round started.  Gossip therefore spreads one hop per round — on a
      ring, an equivocation towards two holders more than two hops apart
@@ -114,7 +119,7 @@ let run_round ?net t ~edges =
   let handler ~src:_ ~dst digest =
     List.iter
       (fun commit ->
-        match receive t ~holder:dst commit with
+        match receive ?ledger t ~holder:dst commit with
         | Some e -> evidence := e :: !evidence
         | None -> ())
       digest

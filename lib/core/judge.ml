@@ -88,7 +88,7 @@ let noshorter_context keyring (commit : Wire.commit Wire.signed)
               Bgp.Route.path_length my_export.Wire.payload.Wire.exp_route ))
           (block 0 order)
 
-let rec evaluate keyring ~respond evidence =
+let rec eval keyring ~respond evidence =
   let accused = Evidence.accused evidence in
   match evidence with
   | Evidence.Timeout { claim; retries } -> begin
@@ -144,7 +144,7 @@ let rec evaluate keyring ~respond evidence =
           end
       | (Evidence.Missing_export_claim _ | Evidence.Missing_disclosure_claim _)
         as claim ->
-          evaluate keyring ~respond claim
+          eval keyring ~respond claim
       | _ -> Rejected
     end
   | Evidence.Equivocation { first; second } ->
@@ -361,6 +361,56 @@ let rec evaluate keyring ~respond evidence =
             | Some v -> v <> (l <= bit_index)
             | None -> false)
     end
+
+(* The commitment a challenge's opening responses decode against. *)
+let rec commit_of_evidence = function
+  | Evidence.Timeout { claim; _ } -> commit_of_evidence claim
+  | Evidence.Equivocation { first; _ } -> Some first
+  | Evidence.False_bit { commit; _ }
+  | Evidence.Non_monotonic_bits { commit; _ }
+  | Evidence.Nonminimal_export { commit; _ }
+  | Evidence.Unsupported_export { commit; _ }
+  | Evidence.Missing_export_claim { commit; _ }
+  | Evidence.Missing_disclosure_claim { commit; _ }
+  | Evidence.Graph_violation { commit; _ }
+  | Evidence.Cross_shorter_export { commit; _ }
+  | Evidence.Own_vector_mismatch { commit; _ } -> Some commit
+  | Evidence.Bad_provenance _ -> None
+
+let evaluate ?ledger keyring ~respond evidence =
+  let respond =
+    match ledger with
+    | None -> respond
+    | Some l ->
+        (* Account what challenge responses disclose to the court: an
+           opening reveals one threshold bit, a produced export reveals a
+           full route.  Silence reveals nothing. *)
+        fun ~accused ch ->
+          let r = respond ~accused ch in
+          begin
+            match (ch, r) with
+            | Produce_opening { index; _ }, Opening_response o -> begin
+                match commit_of_evidence evidence with
+                | Some commit -> begin
+                    match bit_at commit ~index o with
+                    | Some value ->
+                        Leakage.Ledger.record l ~viewer:Leakage.court
+                          (Leakage.Knows_bit { index; value })
+                    | None ->
+                        Leakage.Ledger.record_opaque l ~viewer:Leakage.court
+                  end
+                | None -> Leakage.Ledger.record_opaque l ~viewer:Leakage.court
+              end
+            | Produce_export _, Export_response e ->
+                let route = e.Wire.payload.Wire.exp_route in
+                Leakage.Ledger.record l ~viewer:Leakage.court
+                  (Leakage.Knows_route
+                     { provider = route.Bgp.Route.next_hop; route })
+            | _ -> ()
+          end;
+          r
+  in
+  eval keyring ~respond evidence
 
 let evaluate_offline keyring evidence =
   evaluate keyring ~respond:(fun ~accused:_ _ -> No_response) evidence

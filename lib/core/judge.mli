@@ -41,6 +41,7 @@ type response =
   | No_response
 
 val evaluate :
+  ?ledger:Leakage.Ledger.ledger ->
   Keyring.t ->
   respond:(accused:Pvr_bgp.Asn.t -> challenge -> response) ->
   Evidence.t ->
@@ -48,7 +49,12 @@ val evaluate :
 (** Replay the evidence.  [respond] reaches the accused (experiments wire it
     to the honest prover or to an adversary).  Every signature and opening
     inside the evidence is re-verified from scratch: forged or inconsistent
-    evidence yields [Rejected], never [Guilty]. *)
+    evidence yields [Rejected], never [Guilty].
+
+    [ledger] accounts what each challenge response disclosed to the court
+    (pseudo-viewer {!Leakage.court}): a decodable opening records its
+    threshold bit, a produced export records its route, silence records
+    nothing. *)
 
 val evaluate_offline : Keyring.t -> Evidence.t -> verdict
 (** Like {!evaluate} with an accused that never responds: omission claims

@@ -64,3 +64,82 @@ val excess : baseline:view -> observed:view -> fact list
     violations.  Empty for PVR, size k-ish for NetReview. *)
 
 val excess_count : baseline:view -> observed:view -> int
+
+(** {2 Quantitative meter (E14)}
+
+    A fixed bit-accounting convention turns fact sets into comparable
+    information bounds: a threshold bit or input-count fact is 1 bit, a
+    minimum length is 5 bits (an integer in 1..{!Pvr.Proto_min.default_max_path_len}),
+    a full route is 32 bits per hop.  The absolute numbers are coarse by
+    design — what the E14 matrix relies on is monotonicity and seeded
+    determinism. *)
+
+val fact_bits : fact -> int
+
+val view_bits : view -> int
+(** Sum of {!fact_bits} over the deduplicated view. *)
+
+val pooled : view list -> view
+(** Union of coalition members' views, deduplicated — what colluding
+    neighbors learn by pooling disclosed bits. *)
+
+val excess_bits : baseline:view -> observed:view -> int
+(** {!view_bits} of the deduplicated {!excess}. *)
+
+val alpha_authorizes :
+  Access_control.t -> viewer:Bgp.Asn.t -> fact -> bool
+(** Does the α access-control map explicitly authorize [viewer] to learn
+    [fact] beyond plain BGP?  Threshold bits and the input count map to the
+    public ["op:min"] vertex, a minimum length to the viewer's promise
+    output variable, a learned route to that provider's input variable. *)
+
+type audit = {
+  au_viewer : string;
+  au_baseline_bits : int;
+  au_observed_bits : int;
+  au_excess : fact list;
+  au_excess_bits : int;  (** bits beyond the plain-BGP closure *)
+  au_unauthorized_bits : int;  (** excess bits α does not authorize *)
+}
+
+val audit :
+  viewer:string ->
+  ?authorized:(fact -> bool) ->
+  baseline:view ->
+  observed:view ->
+  unit ->
+  audit
+(** Build one audit row; [authorized] (default: nothing) is typically
+    [alpha_authorizes α ~viewer].  Increments ["leakage.audits"] and
+    ["leakage.bits.excess"]. *)
+
+val validate_privacy_claims : audit list -> (unit, string list) result
+(** §2.3 Confidentiality as an assertion: [Ok ()] iff no audit shows
+    unauthorized excess bits; otherwise one error line per violating
+    viewer. *)
+
+(** {2 Disclosure ledger}
+
+    Threaded through {!Pvr.Gossip}, {!Pvr.Judge} and {!Pvr.Runner} so every
+    bit a round actually disclosed is accounted per receiving party. *)
+
+val court : Bgp.Asn.t
+(** Pseudo-viewer (ASN 0) for facts surfaced to the judge by challenge
+    responses. *)
+
+module Ledger : sig
+  type ledger
+
+  val create : unit -> ledger
+
+  val record : ledger -> viewer:Bgp.Asn.t -> fact -> unit
+  (** Account a disclosed fact (idempotent per (viewer, fact)); increments
+      ["leakage.bits.disclosed"]. *)
+
+  val record_opaque : ledger -> viewer:Bgp.Asn.t -> unit
+  (** A hiding commitment changed hands: observed traffic, zero bits. *)
+
+  val opaque_count : ledger -> int
+  val view : ledger -> viewer:Bgp.Asn.t -> view
+  val viewers : ledger -> Bgp.Asn.t list
+end

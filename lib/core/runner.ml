@@ -25,12 +25,12 @@ let announce_of_route keyring ~provider ~prover ~epoch route =
   Wire.sign keyring ~as_:provider ~encode:Wire.encode_announce
     { Wire.ann_epoch = epoch; ann_to = prover; ann_route = route }
 
-let finish keyring ~respond raised ~tally =
+let finish ?ledger keyring ~respond raised ~tally =
   Obs.incr obs_rounds;
   Obs.Tally.publish tally;
   let judged =
     List.map
-      (fun (who, e) -> (who, e, Judge.evaluate keyring ~respond e))
+      (fun (who, e) -> (who, e, Judge.evaluate ?ledger keyring ~respond e))
       raised
   in
   {
@@ -97,8 +97,8 @@ type net_report = {
 }
 
 let min_round_faulty ?(gossip = `Clique) ?max_path_len
-    ?(faults = perfect_faults) behaviour rng keyring ~prover ~beneficiary
-    ~epoch ~prefix ~routes =
+    ?(faults = perfect_faults) ?ledger ?comply behaviour rng keyring ~prover
+    ~beneficiary ~epoch ~prefix ~routes =
   Obs.with_span "runner.min_round" @@ fun () ->
   let tally = Obs.Tally.create () in
   (* Derive the transport generators before the adversary consumes [rng],
@@ -148,15 +148,60 @@ let min_round_faulty ?(gossip = `Clique) ?max_path_len
         then arrived := !arrived @ [ ann ]
     | Net_commit commit -> begin
         Hashtbl.replace direct_commit dst ();
-        match Gossip.receive g ~holder:dst commit with
+        match Gossip.receive ?ledger g ~holder:dst commit with
         | Some e -> raised := (Adversary.Gossip, e) :: !raised
         | None -> ()
       end
     | Net_neighbor_disclosure nd when not (Bgp.Asn.equal dst prover) ->
-        if not (Hashtbl.mem neighbor_got dst) then
-          Hashtbl.replace neighbor_got dst nd
+        if not (Hashtbl.mem neighbor_got dst) then begin
+          Hashtbl.replace neighbor_got dst nd;
+          (* Account the one bit this opening discloses to the provider. *)
+          Option.iter
+            (fun l ->
+              match !run_ref with
+              | None -> Leakage.Ledger.record_opaque l ~viewer:dst
+              | Some run -> begin
+                  let commit = run.Adversary.commit_for dst in
+                  match
+                    Proto_common.opening_bit_at commit
+                      ~index:nd.Proto_common.nd_index
+                      nd.Proto_common.nd_opening
+                  with
+                  | Some value ->
+                      Leakage.Ledger.record l ~viewer:dst
+                        (Leakage.Knows_bit
+                           { index = nd.Proto_common.nd_index; value })
+                  | None -> Leakage.Ledger.record_opaque l ~viewer:dst
+                end)
+            ledger
+        end
     | Net_beneficiary_disclosure bd when Bgp.Asn.equal dst beneficiary ->
-        if !bene_got = None then bene_got := Some bd
+        if !bene_got = None then begin
+          bene_got := Some bd;
+          Option.iter
+            (fun l ->
+              (match !run_ref with
+              | None -> ()
+              | Some run ->
+                  let commit = run.Adversary.commit_for beneficiary in
+                  List.iter
+                    (fun (index, o) ->
+                      match Proto_common.opening_bit_at commit ~index o with
+                      | Some value ->
+                          Leakage.Ledger.record l ~viewer:beneficiary
+                            (Leakage.Knows_bit { index; value })
+                      | None ->
+                          Leakage.Ledger.record_opaque l ~viewer:beneficiary)
+                    bd.Proto_common.bd_openings);
+              match bd.Proto_common.bd_export with
+              | Some e ->
+                  let route = e.Wire.payload.Wire.exp_route in
+                  Leakage.Ledger.record l ~viewer:beneficiary
+                    (Leakage.Knows_route
+                       { provider = route.Bgp.Route.next_hop; route })
+              | None -> ())
+            ledger
+        end
     | Net_disclosure_request when Bgp.Asn.equal dst prover -> begin
         (* The prover answers re-requests according to its behaviour: a
            withheld opening stays withheld (stonewalling), anything it was
@@ -191,8 +236,8 @@ let min_round_faulty ?(gossip = `Clique) ?max_path_len
   let (_ : int) = quiesce () in
   let inputs = !arrived in
   let run =
-    Adversary.run_min behaviour ?max_path_len rng keyring ~prover ~beneficiary
-      ~epoch ~prefix ~inputs
+    Adversary.run_min behaviour ?max_path_len ?comply rng keyring ~prover
+      ~beneficiary ~epoch ~prefix ~inputs
   in
   run_ref := Some run;
   (* Phase 2: A broadcasts its (per-recipient) commitment. *)
@@ -214,7 +259,7 @@ let min_round_faulty ?(gossip = `Clique) ?max_path_len
   for _ = 1 to faults.fp_gossip_rounds do
     List.iter
       (fun e -> raised := (Adversary.Gossip, e) :: !raised)
-      (Gossip.run_round ~net:gnet g ~edges)
+      (Gossip.run_round ~net:gnet ?ledger g ~edges)
   done;
   (* Phase 4: A pushes disclosures to everyone it is willing to serve. *)
   List.iter
@@ -328,7 +373,8 @@ let min_round_faulty ?(gossip = `Clique) ?max_path_len
   Obs.Tally.add tally k_messages
     (Pvr_net.Reliable.data_sends conn + (Pvr_net.stats gnet).Pvr_net.sends);
   let base =
-    finish keyring ~respond:run.Adversary.respond (List.rev !raised) ~tally
+    finish ?ledger keyring ~respond:run.Adversary.respond (List.rev !raised)
+      ~tally
   in
   let st = Pvr_net.stats net and gst = Pvr_net.stats gnet in
   {

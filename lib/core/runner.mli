@@ -62,6 +62,8 @@ val min_round_faulty :
   ?gossip:[ `Clique | `Ring | `None ] ->
   ?max_path_len:int ->
   ?faults:fault_profile ->
+  ?ledger:Leakage.Ledger.ledger ->
+  ?comply:bool ->
   Adversary.behaviour ->
   Pvr_crypto.Drbg.t ->
   Keyring.t ->
@@ -79,7 +81,14 @@ val min_round_faulty :
     a disclosure after [fp_retry_budget] explicit re-requests raises
     {!Evidence.Timeout} around the omission claim.  Fault schedules are a
     deterministic function of the seed behind [rng] (they draw from
-    children split off before any protocol draws). *)
+    children split off before any protocol draws).
+
+    [ledger] accounts every disclosed bit of the round per receiving party:
+    provider and beneficiary openings, the export, commitment receptions
+    (opaque, zero bits) and whatever judge challenges extract.  [comply]
+    (default [false]) is forwarded to {!Adversary.run_min}: stonewalling
+    behaviours answer the judge honestly when challenged, so they are
+    detected but exonerated. *)
 
 val min_round :
   ?gossip:[ `Clique | `Ring | `None ] ->

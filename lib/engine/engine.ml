@@ -9,9 +9,12 @@ type outcome = {
   vx_providers : Bgp.Asn.t list;
   vx_routes : (Bgp.Asn.t * Bgp.Route.t) list;
   vx_recomputed : bool;
+  vx_behaviour : Pvr.Adversary.behaviour;
   vx_detected : bool;
   vx_convicted : bool;
   vx_evidence : int;
+  vx_leaked_bits : int;
+  vx_excess_bits : int;
   vx_net : Pvr.Runner.net_report option;
   vx_line : string;
 }
@@ -75,7 +78,7 @@ type t = {
   cache : bool;
   salt_every : int;
   max_path_len : int;
-  behaviour : Pvr.Adversary.behaviour;
+  strategy : Pvr.Adversary.strategy;
   faults : Pvr.Runner.fault_profile option;
   secret : string;
   ases : Bgp.Asn.t list; (* sorted *)
@@ -92,8 +95,8 @@ let chain0 = C.Sha256.digest_hex "pvr-engine-report-v1"
 
 let create ?(jobs = 1) ?(shards = 0) ?(cache = true) ?(salt_every = 8)
     ?(max_path_len = Pvr.Proto_min.default_max_path_len)
-    ?(behaviour = Pvr.Adversary.Honest) ?faults rng keyring ~topology ~sim ()
-    =
+    ?(behaviour = Pvr.Adversary.Honest) ?strategy ?faults rng keyring
+    ~topology ~sim () =
   (* One draw fixes every future salt and task seed; the caller's generator
      is never consulted again, so engine output is a function of this
      secret alone. *)
@@ -114,7 +117,8 @@ let create ?(jobs = 1) ?(shards = 0) ?(cache = true) ?(salt_every = 8)
     cache;
     salt_every = max 1 salt_every;
     max_path_len;
-    behaviour;
+    strategy =
+      Option.value strategy ~default:(Pvr.Adversary.Sweep behaviour);
     faults;
     secret;
     ases = List.sort Bgp.Asn.compare (Bgp.Topology.ases topology);
@@ -377,9 +381,12 @@ let fast_round keyring ~max_path_len ~wire_epoch vc (sn : snapshot) =
     vx_providers = providers;
     vx_routes = sn.sn_inputs;
     vx_recomputed = true;
+    vx_behaviour = Pvr.Adversary.Honest;
     vx_detected = detected;
     vx_convicted = convicted;
     vx_evidence = List.length raised;
+    vx_leaked_bits = 0;
+    vx_excess_bits = 0;
     vx_net = None;
     vx_line = line;
   }
@@ -389,8 +396,9 @@ let fast_round keyring ~max_path_len ~wire_epoch vc (sn : snapshot) =
    digest), making the outcome a pure function of the vertex state — the
    same schedule regardless of scheduling order, jobs, or whether the cache
    skipped the vertex last epoch. *)
-let faulty_round keyring ~max_path_len ~wire_epoch ~secret ~behaviour ~faults
+let faulty_round keyring ~max_path_len ~wire_epoch ~secret ~plan ~faults
     (sn : snapshot) =
+  let behaviour = plan.Pvr.Adversary.rp_behaviour in
   let prover = sn.sn_vertex.vprover and prefix = sn.sn_vertex.vprefix in
   let seed =
     String.concat "|"
@@ -403,22 +411,97 @@ let faulty_round keyring ~max_path_len ~wire_epoch ~secret ~behaviour ~faults
       ]
   in
   let rng = C.Drbg.create ~seed in
+  let module L = Pvr.Leakage in
+  let ledger = L.Ledger.create () in
   let nr =
-    Pvr.Runner.min_round_faulty ?faults ~max_path_len behaviour rng keyring
-      ~prover ~beneficiary:sn.sn_beneficiary ~epoch:wire_epoch ~prefix
+    Pvr.Runner.min_round_faulty ?faults ~max_path_len ~ledger
+      ~comply:plan.Pvr.Adversary.rp_comply behaviour rng keyring ~prover
+      ~beneficiary:sn.sn_beneficiary ~epoch:wire_epoch ~prefix
       ~routes:sn.sn_inputs
   in
   let base = nr.Pvr.Runner.base in
   let providers = List.map fst sn.sn_inputs in
+  (* Leakage accounting: audit every party's observed view against its
+     plain-BGP baseline under the Figure-1 α.  The beneficiary baseline is
+     the promise-kept export, so a cheating round's inconsistent
+     disclosures legitimately show positive excess — that is the meter
+     flagging the cheat, not a protocol leak. *)
+  let alpha =
+    Pvr.Access_control.figure1 ~beneficiary:sn.sn_beneficiary ~providers
+  in
+  let view_of v = L.Ledger.view ledger ~viewer:v in
+  let provider_audits =
+    List.map
+      (fun (p, r) ->
+        let baseline = L.plain_bgp_provider ~me:p ~my_route:r in
+        L.audit
+          ~viewer:(Bgp.Asn.to_string p)
+          ~authorized:(L.alpha_authorizes alpha ~viewer:p)
+          ~baseline
+          ~observed:(baseline @ view_of p)
+          ())
+      sn.sn_inputs
+  in
+  let bene_baseline = L.plain_bgp_beneficiary ~exported:(Some sn.sn_export) in
+  let bene_audit =
+    L.audit
+      ~viewer:(Bgp.Asn.to_string sn.sn_beneficiary)
+      ~authorized:(L.alpha_authorizes alpha ~viewer:sn.sn_beneficiary)
+      ~baseline:bene_baseline
+      ~observed:(bene_baseline @ view_of sn.sn_beneficiary)
+      ()
+  in
+  let coalition_audits =
+    if plan.Pvr.Adversary.rp_coalition > 1 then begin
+      (* [sn_inputs] is sorted by ASN: the coalition is the first [size]
+         providers pooling their disclosed bits. *)
+      let members =
+        List.filteri
+          (fun i _ -> i < plan.Pvr.Adversary.rp_coalition)
+          sn.sn_inputs
+      in
+      let baseline =
+        L.pooled
+          (List.map
+             (fun (p, r) -> L.plain_bgp_provider ~me:p ~my_route:r)
+             members)
+      in
+      let observed =
+        L.pooled (baseline :: List.map (fun (p, _) -> view_of p) members)
+      in
+      [
+        L.audit
+          ~viewer:
+            ("coalition:" ^ providers_string (List.map fst members))
+          ~authorized:(fun f ->
+            List.exists
+              (fun (p, _) -> L.alpha_authorizes alpha ~viewer:p f)
+              members)
+          ~baseline ~observed ();
+      ]
+    end
+    else []
+  in
+  let audits = provider_audits @ (bene_audit :: coalition_audits) in
+  let leaked =
+    List.fold_left
+      (fun n v -> n + L.view_bits (view_of v))
+      0
+      (L.Ledger.viewers ledger)
+  in
+  let excess =
+    List.fold_left (fun n a -> n + a.L.au_excess_bits) 0 audits
+  in
   let line =
-    Printf.sprintf "%s %s b=%s prov=%s det=%b conv=%b ev=%d m=%d cb=%d"
+    Printf.sprintf
+      "%s %s b=%s prov=%s det=%b conv=%b ev=%d m=%d cb=%d lk=%d xs=%d"
       (Bgp.Asn.to_string prover)
       (Bgp.Prefix.to_string prefix)
       (Bgp.Asn.to_string sn.sn_beneficiary)
       (providers_string providers)
       base.Pvr.Runner.detected base.Pvr.Runner.convicted
       (List.length base.Pvr.Runner.raised)
-      base.Pvr.Runner.messages base.Pvr.Runner.commit_bytes
+      base.Pvr.Runner.messages base.Pvr.Runner.commit_bytes leaked excess
   in
   {
     vx_vertex = sn.sn_vertex;
@@ -426,17 +509,29 @@ let faulty_round keyring ~max_path_len ~wire_epoch ~secret ~behaviour ~faults
     vx_providers = providers;
     vx_routes = sn.sn_inputs;
     vx_recomputed = true;
+    vx_behaviour = behaviour;
     vx_detected = base.Pvr.Runner.detected;
     vx_convicted = base.Pvr.Runner.convicted;
     vx_evidence = List.length base.Pvr.Runner.raised;
+    vx_leaked_bits = leaked;
+    vx_excess_bits = excess;
     vx_net = Some nr;
     vx_line = line;
   }
 
 let run_round t ~wire_epoch vc sn =
-  if t.faults <> None || t.behaviour <> Pvr.Adversary.Honest then
+  (* The plan is a pure function of (secret, vertex, wire epoch): identical
+     for every jobs/shards/cache configuration, and stable within a salt
+     period so carried-forward outcomes agree with recomputation. *)
+  let plan =
+    Pvr.Adversary.plan_round t.strategy ~seed:t.secret
+      ~prover:sn.sn_vertex.vprover ~prefix:sn.sn_vertex.vprefix
+      ~epoch:wire_epoch
+  in
+  if t.faults <> None || plan.Pvr.Adversary.rp_behaviour <> Pvr.Adversary.Honest
+  then
     faulty_round t.keyring ~max_path_len:t.max_path_len ~wire_epoch
-      ~secret:t.secret ~behaviour:t.behaviour ~faults:t.faults sn
+      ~secret:t.secret ~plan ~faults:t.faults sn
   else fast_round t.keyring ~max_path_len:t.max_path_len ~wire_epoch vc sn
 
 let report_line r =
@@ -653,7 +748,10 @@ module Checkpoint = struct
     ck_states : int;
   }
 
-  let ck_version = 1
+  (* v2: adds per-vertex behaviour and leaked/excess bit counts.  Older
+     blobs are refused (resume falls back to full recomputation, which the
+     determinism contract makes harmless). *)
+  let ck_version = 2
   let run_id t = C.Sha256.digest_hex ("pvr-engine-run-id|" ^ t.secret)
 
   type state_record = {
@@ -665,9 +763,12 @@ module Checkpoint = struct
     sr_len : int;
     sr_beneficiary : int;
     sr_providers : int list;
+    sr_behaviour : string;
     sr_detected : bool;
     sr_convicted : bool;
     sr_evidence : int;
+    sr_leaked : int;
+    sr_excess : int;
     sr_line : string;
   }
 
@@ -695,9 +796,12 @@ module Checkpoint = struct
         Codec.u32 buf (Bgp.Asn.to_int o.vx_beneficiary);
         Codec.u32 buf (List.length o.vx_providers);
         List.iter (fun a -> Codec.u32 buf (Bgp.Asn.to_int a)) o.vx_providers;
+        Codec.str buf (Pvr.Adversary.to_string o.vx_behaviour);
         Codec.bool_ buf o.vx_detected;
         Codec.bool_ buf o.vx_convicted;
         Codec.u32 buf o.vx_evidence;
+        Codec.u32 buf o.vx_leaked_bits;
+        Codec.u32 buf o.vx_excess_bits;
         Codec.str buf o.vx_line)
       states;
     Buffer.contents buf
@@ -724,9 +828,12 @@ module Checkpoint = struct
               let sr_beneficiary = Codec.get_u32 r in
               let np = Codec.get_u32 r in
               let sr_providers = List.init np (fun _ -> Codec.get_u32 r) in
+              let sr_behaviour = Codec.get_str r in
               let sr_detected = Codec.get_bool r in
               let sr_convicted = Codec.get_bool r in
               let sr_evidence = Codec.get_u32 r in
+              let sr_leaked = Codec.get_u32 r in
+              let sr_excess = Codec.get_u32 r in
               let sr_line = Codec.get_str r in
               {
                 sr_key;
@@ -737,9 +844,12 @@ module Checkpoint = struct
                 sr_len;
                 sr_beneficiary;
                 sr_providers;
+                sr_behaviour;
                 sr_detected;
                 sr_convicted;
                 sr_evidence;
+                sr_leaked;
+                sr_excess;
                 sr_line;
               })
         in
@@ -770,9 +880,19 @@ module Checkpoint = struct
           vx_providers = List.map Bgp.Asn.of_int sr.sr_providers;
           vx_routes = [];
           vx_recomputed = false;
+          vx_behaviour =
+            (match
+               List.find_opt
+                 (fun b -> Pvr.Adversary.to_string b = sr.sr_behaviour)
+                 Pvr.Adversary.all
+             with
+            | Some b -> b
+            | None -> Pvr.Adversary.Honest);
           vx_detected = sr.sr_detected;
           vx_convicted = sr.sr_convicted;
           vx_evidence = sr.sr_evidence;
+          vx_leaked_bits = sr.sr_leaked;
+          vx_excess_bits = sr.sr_excess;
           vx_net = None;
           vx_line = sr.sr_line;
         };

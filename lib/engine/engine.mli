@@ -45,9 +45,20 @@ type outcome = {
   vx_routes : (Bgp.Asn.t * Bgp.Route.t) list;
       (** the round's inputs, as received at the prover *)
   vx_recomputed : bool;  (** [false]: carried forward from a clean epoch *)
+  vx_behaviour : Pvr.Adversary.behaviour;
+      (** what the strategy planned at this vertex ([Honest] on the fast
+          path) *)
   vx_detected : bool;
   vx_convicted : bool;
   vx_evidence : int;
+  vx_leaked_bits : int;
+      (** total bits disclosed across all parties (and the court) per the
+          {!Pvr.Leakage} accounting convention; [0] on the fast path *)
+  vx_excess_bits : int;
+      (** audited bits beyond each party's plain-BGP baseline, summed over
+          providers, beneficiary and the coalition (positive excess on a
+          cheating round is the meter flagging the cheat); [0] on the fast
+          path *)
   vx_net : Pvr.Runner.net_report option;
       (** present for fault-injected rounds — feed it to
           {!Pvr.Runner.detection_expected} *)
@@ -79,6 +90,7 @@ val create :
   ?salt_every:int ->
   ?max_path_len:int ->
   ?behaviour:Pvr.Adversary.behaviour ->
+  ?strategy:Pvr.Adversary.strategy ->
   ?faults:Pvr.Runner.fault_profile ->
   Pvr_crypto.Drbg.t ->
   Pvr.Keyring.t ->
@@ -96,6 +108,10 @@ val create :
     no memo tables (the E11 baseline); [salt_every] (default 8) epochs per
     salt period;
     [behaviour] (default [Honest]) is injected at {e every} prover;
+    [strategy] (default [Sweep behaviour]) is the adversary policy asked,
+    per vertex and wire epoch, what each prover does — honest-planned
+    vertices keep the fast path, misbehaving ones run the full fault
+    runner with a disclosure ledger and leakage audit;
     [faults] (default none) routes each round through
     {!Pvr.Runner.min_round_faulty}.  The master seed is drawn from the
     DRBG at creation — the engine never touches the generator again, so

@@ -16,9 +16,10 @@ let suites =
     ("engine", Test_engine.suite);
     ("store", Test_store.suite);
     ("scale", Test_scale.suite);
+    ("adversary", Test_adversary.suite);
   ]
 
-let expected_tests = 372
+let expected_tests = 386
 
 let () =
   let total = List.fold_left (fun n (_, s) -> n + List.length s) 0 suites in

@@ -396,7 +396,7 @@ let oracle_keyring =
 (* Run [epochs] of the same seeded workload and return per-epoch report
    digests, the final RIB digest, and every (AS, prefix, best-route
    encoding) decision outcome. *)
-let oracle_run ~seed ~intern ~jobs ~shards ~cache () =
+let oracle_run ?strategy ~seed ~intern ~jobs ~shards ~cache () =
   with_intern intern @@ fun () ->
   let topo =
     G.Topology.generate (C.Drbg.of_int_seed seed) ~ases:oracle_ases ()
@@ -408,7 +408,7 @@ let oracle_run ~seed ~intern ~jobs ~shards ~cache () =
   in
   let churn_rng = C.Drbg.of_int_seed (seed + 1) in
   let eng =
-    E.create ~jobs ~shards ~cache ~salt_every:2
+    E.create ~jobs ~shards ~cache ~salt_every:2 ?strategy
       (C.Drbg.of_int_seed (seed + 2))
       (Lazy.force oracle_keyring) ~topology:topo ~sim ()
   in
@@ -467,6 +467,30 @@ let oracle_shards_jobs_invariant () =
       check_bool "decisions" true (dec = dec0))
     [ (2, 1, true); (2, 5, true); (3, 7, true); (1, 4, false) ]
 
+(* PR 6: adversarial rounds keep the whole determinism contract — a
+   strategy mixing fast and fault-runner paths (cross-shard equivocation
+   picks its dirty subset by vertex hash) must produce byte-identical
+   digests and decisions for any jobs/shards/intern/cache setting. *)
+let oracle_adversary_invariant () =
+  let strategy = P.Adversary.Cross_shard { shards = 4; target = 1 } in
+  let seed = 91 in
+  let base =
+    oracle_run ~strategy ~seed ~intern:true ~jobs:1 ~shards:0 ~cache:true ()
+  in
+  let d0, rib0, dec0 = base in
+  List.iter
+    (fun (intern, jobs, shards, cache) ->
+      let d, rib, dec =
+        oracle_run ~strategy ~seed ~intern ~jobs ~shards ~cache ()
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "intern=%b jobs=%d shards=%d cache=%b" intern jobs
+           shards cache)
+        d0 d;
+      check_string "rib" rib0 rib;
+      check_bool "decisions" true (dec = dec0))
+    [ (false, 2, 3, true); (true, 3, 5, true); (true, 1, 0, false) ]
+
 let suite =
   [
     generate_deterministic;
@@ -491,4 +515,6 @@ let suite =
     ("oracle: interning transparent end-to-end", `Slow, oracle_intern_transparent);
     ("oracle: digest invariant across jobs/shards/cache", `Slow,
      oracle_shards_jobs_invariant);
+    ("oracle: adversarial runs digest-invariant", `Slow,
+     oracle_adversary_invariant);
   ]
