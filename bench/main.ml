@@ -254,50 +254,137 @@ let e4 () =
   let payload64 = String.make 64 'x' in
   let payload1k = String.make 1024 'x' in
   let sig_ = C.Rsa.sign key payload64 in
-  let rows =
+  (* Before/after: the "naive" column routes modular exponentiation through
+     square-and-multiply ([set_fast_mod_pow false] — exactly the pre-fast-path
+     code), the "fast" column through Montgomery CIOS + fixed-window.  For
+     hashing, "naive" is the general buffering one-shot and "fast" the
+     precomputed-layout / precomputed-midstate variants. *)
+  let with_naive f =
+    C.Bigint.set_fast_mod_pow false;
+    Fun.protect ~finally:(fun () -> C.Bigint.set_fast_mod_pow true) f
+  in
+  let fixed64 = C.Sha256.Fixed.create 64 in
+  let hmac_key = C.Hmac.Key.create "e4-bench-key" in
+  let pairs =
     [
-      ("sha256 64B", time_ms ~min_time:0.1 (fun () -> C.Sha256.digest payload64));
-      ("sha256 1KiB", time_ms ~min_time:0.1 (fun () -> C.Sha256.digest payload1k));
-      ( "commitment",
-        time_ms ~min_time:0.1 (fun () ->
-            C.Commitment.commit (C.Drbg.of_int_seed 1) payload64) );
-      ("rsa-1024 sign", time_ms (fun () -> C.Rsa.sign key payload64));
+      ( "rsa-1024 sign",
+        (fun () -> with_naive (fun () -> ignore (C.Rsa.sign key payload64))),
+        fun () -> ignore (C.Rsa.sign key payload64) );
       ( "rsa-1024 verify",
-        time_ms (fun () ->
-            C.Rsa.verify key.C.Rsa.pub ~msg:payload64 ~signature:sig_) );
+        (fun () ->
+          with_naive (fun () ->
+              ignore (C.Rsa.verify key.C.Rsa.pub ~msg:payload64 ~signature:sig_))),
+        fun () ->
+          ignore (C.Rsa.verify key.C.Rsa.pub ~msg:payload64 ~signature:sig_) );
+      ( "sha256 64B",
+        (fun () -> ignore (C.Sha256.digest payload64)),
+        fun () -> ignore (C.Sha256.Fixed.digest fixed64 payload64) );
+      ( "sha256 1KiB",
+        (fun () -> ignore (C.Sha256.digest payload1k)),
+        fun () -> ignore (C.Sha256.digest payload1k) );
+      ( "hmac 64B",
+        (fun () -> ignore (C.Hmac.mac ~key:"e4-bench-key" payload64)),
+        fun () -> ignore (C.Hmac.mac_with hmac_key payload64) );
+      ( "commitment",
+        (fun () ->
+          ignore (C.Commitment.commit (C.Drbg.of_int_seed 1) payload64)),
+        fun () ->
+          ignore (C.Commitment.commit (C.Drbg.of_int_seed 1) payload64) );
     ]
   in
-  Printf.printf "%-16s  %12s   paper (2011 hw)\n" "operation" "measured ms";
-  let jrows =
+  Printf.printf "%-16s  %12s  %12s  %8s   paper (2011 hw)\n" "operation"
+    "naive ms" "fast ms" "speedup";
+  let rows =
     List.map
-      (fun (name, ms) ->
+      (fun (name, naive, fast) ->
+        let naive_ms = time_ms ~min_time:0.1 naive in
+        let fast_ms = time_ms ~min_time:0.1 fast in
         let note =
           match name with
           | "rsa-1024 sign" -> "~2 ms"
           | "sha256 64B" -> "\"relatively cheap\""
           | _ -> ""
         in
-        Printf.printf "%-16s  %12.4f   %s\n%!" name ms note;
+        Printf.printf "%-16s  %12.4f  %12.4f  %7.1fx   %s\n%!" name naive_ms
+          fast_ms (naive_ms /. fast_ms) note;
+        (name, naive_ms, fast_ms, note))
+      pairs
+  in
+  let jrows =
+    List.map
+      (fun (name, naive_ms, fast_ms, note) ->
         J.Obj
           [
             ("operation", J.String name);
-            ("measured_ms", J.Float ms);
+            ("naive_ms", J.Float naive_ms);
+            ("measured_ms", J.Float fast_ms);
+            ("speedup", J.Float (naive_ms /. fast_ms));
             ("paper_note", J.String note);
           ])
       rows
   in
+  (* Batch verification: one screening exponentiation amortized over a
+     same-key batch, against the per-item loop on the same items. *)
+  Printf.printf "%-16s  %12s  %12s  %8s\n" "verify batch" "per-item ms"
+    "batched ms" "amortize";
+  let batch_rows =
+    List.map
+      (fun size ->
+        let items =
+          List.init size (fun i ->
+              let msg = Printf.sprintf "batch msg %d" i in
+              (key.C.Rsa.pub, msg, C.Rsa.sign key msg))
+        in
+        let per_item_ms =
+          time_ms (fun () ->
+              List.iter
+                (fun (pub, msg, signature) ->
+                  assert (C.Rsa.verify pub ~msg ~signature))
+                items)
+        in
+        let batched_ms =
+          time_ms (fun () ->
+              assert (List.for_all Fun.id (C.Rsa.verify_batch items)))
+        in
+        Printf.printf "%-16d  %12.4f  %12.4f  %7.1fx\n%!" size
+          (per_item_ms /. float_of_int size)
+          (batched_ms /. float_of_int size)
+          (per_item_ms /. batched_ms);
+        J.Obj
+          [
+            ("batch", J.Int size);
+            ("per_item_ms", J.Float (per_item_ms /. float_of_int size));
+            ("batched_per_item_ms", J.Float (batched_ms /. float_of_int size));
+            ("amortization", J.Float (per_item_ms /. batched_ms));
+          ])
+      [ 1; 8; 64 ]
+  in
+  (* Fast paths must be bit-exact drop-ins: same signature bytes through
+     both exponentiation routes, and CRT ≡ plain x^d mod n. *)
+  assert (with_naive (fun () -> C.Rsa.sign key payload64) = sig_);
+  assert (C.Rsa.sign_plain key payload64 = sig_);
   (* The §3.8 overhead argument, machine-checkable: one RSA signature plus
      k SHA-256 commitments per verified update. *)
-  let sign_ms = List.assoc "rsa-1024 sign" rows in
-  let sha_ms = List.assoc "sha256 64B" rows in
+  let ms_of n =
+    let _, _, fast_ms, _ = List.find (fun (m, _, _, _) -> m = n) rows in
+    fast_ms
+  in
+  let naive_ms_of n =
+    let _, naive_ms, _, _ = List.find (fun (m, _, _, _) -> m = n) rows in
+    naive_ms
+  in
+  let sign_ms = ms_of "rsa-1024 sign" in
+  let sha_ms = ms_of "sha256 64B" in
   J.Obj
     [
       ("rows", J.List jrows);
+      ("verify_batch_rows", J.List batch_rows);
       ( "s38_claim",
         J.Obj
           [
             ("paper_rsa1024_sign_ms", J.Float 2.0);
             ("measured_rsa1024_sign_ms", J.Float sign_ms);
+            ("naive_rsa1024_sign_ms", J.Float (naive_ms_of "rsa-1024 sign"));
             ("measured_sha256_64B_ms", J.Float sha_ms);
             ( "per_update_overhead_ms_k32",
               J.Float (sign_ms +. (32.0 *. sha_ms)) );
@@ -763,6 +850,18 @@ let e11 () =
     counted (run ~jobs:1 ~cache:false)
   in
   assert (digest_on = digest_off);
+  (* The fast-math acceptance gate: the same seeded run through the naive
+     square-and-multiply exponentiation produces the byte-identical
+     engine digest — Montgomery/CRT/batch-verify change timings only. *)
+  C.Bigint.set_fast_mod_pow false;
+  let digest_naive, _, _ =
+    Fun.protect
+      ~finally:(fun () -> C.Bigint.set_fast_mod_pow true)
+      (run ~jobs:1 ~cache:true)
+  in
+  assert (digest_on = digest_naive);
+  Printf.printf "naive-modexp digest check: identical (%s)\n%!"
+    (String.sub digest_naive 0 16);
   let ops label d rounds =
     Printf.printf
       "%-9s  rounds=%-4d  sha256=%-6d  rsa_sign=%-4d  rsa_verify=%-4d  \

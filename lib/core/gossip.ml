@@ -29,27 +29,29 @@ let create keyring = { keyring; held = Bgp.Asn.Map.empty }
 let holder_map t holder =
   Option.value (Bgp.Asn.Map.find_opt holder t.held) ~default:Slot_map.empty
 
+(* Slot bookkeeping for a commit whose signature has already been checked;
+   [receive] is this behind a per-commit verification, [run_round] batches
+   the verification across a whole round first. *)
+let receive_checked ?ledger t ~holder commit =
+  (* Commitments are hiding: the holder observes traffic but learns zero
+     bits, which the disclosure ledger records as an opaque event. *)
+  Option.iter (fun l -> Leakage.Ledger.record_opaque l ~viewer:holder) ledger;
+  let slot = Slot.of_commit commit in
+  let m = holder_map t holder in
+  match Slot_map.find_opt slot m with
+  | None ->
+      t.held <- Bgp.Asn.Map.add holder (Slot_map.add slot commit m) t.held;
+      None
+  | Some existing ->
+      if Wire.equal_commit existing commit then None
+      else begin
+        Pvr_obs.incr obs_equivocations;
+        Some (Evidence.Equivocation { first = existing; second = commit })
+      end
+
 let receive ?ledger t ~holder commit =
   if not (Wire.verify t.keyring ~encode:Wire.encode_commit commit) then None
-  else begin
-    (* Commitments are hiding: the holder observes traffic but learns zero
-       bits, which the disclosure ledger records as an opaque event. *)
-    Option.iter
-      (fun l -> Leakage.Ledger.record_opaque l ~viewer:holder)
-      ledger;
-    let slot = Slot.of_commit commit in
-    let m = holder_map t holder in
-    match Slot_map.find_opt slot m with
-    | None ->
-        t.held <- Bgp.Asn.Map.add holder (Slot_map.add slot commit m) t.held;
-        None
-    | Some existing ->
-        if Wire.equal_commit existing commit then None
-        else begin
-          Pvr_obs.incr obs_equivocations;
-          Some (Evidence.Equivocation { first = existing; second = commit })
-        end
-  end
+  else receive_checked ?ledger t ~holder commit
 
 (* [view_of] decides what each party transmits: for a standalone exchange
    that is the current view; for a synchronous round it is the view frozen
@@ -115,16 +117,32 @@ let run_round ?net ?ledger t ~edges =
       Pvr_net.send net ~src:y ~dst:x (digest_of_map (view_of y));
       Pvr_net.send net ~src:x ~dst:y (digest_of_map (view_of x)))
     edges;
-  let evidence = ref [] in
-  let handler ~src:_ ~dst digest =
-    List.iter
-      (fun commit ->
-        match receive ?ledger t ~holder:dst commit with
-        | Some e -> evidence := e :: !evidence
-        | None -> ())
-      digest
-  in
+  (* Collect deliveries first, then verify every carried signature in one
+     batch: the same commitment reaches every holder on the ring, so
+     deduplication collapses a round's signature bill to one verification
+     per distinct commitment.  Slot bookkeeping then replays in exact
+     delivery order, so held-state and evidence are unchanged. *)
+  let deliveries = ref [] in
+  let handler ~src:_ ~dst digest = deliveries := (dst, digest) :: !deliveries in
   let (_ticks : int) = Pvr_net.run net ~handler () in
+  let flat =
+    List.concat_map
+      (fun (dst, digest) -> List.map (fun c -> (dst, c)) digest)
+      (List.rev !deliveries)
+  in
+  let verdicts =
+    Wire.verify_batch t.keyring
+      (List.map (fun (_, c) -> Wire.check ~encode:Wire.encode_commit c) flat)
+  in
+  let evidence = ref [] in
+  List.iter2
+    (fun (dst, commit) ok ->
+      if ok then begin
+        match receive_checked ?ledger t ~holder:dst commit with
+        | Some e -> evidence := e :: !evidence
+        | None -> ()
+      end)
+    flat verdicts;
   let seen = Hashtbl.create 8 in
   List.rev !evidence
   |> List.filter (fun e ->

@@ -32,6 +32,17 @@ val valid_input :
     signature, addressed to the prover, right epoch and prefix, and the
     announcing neighbor is the first AS on the route's path? *)
 
+val valid_inputs :
+  Keyring.t ->
+  prover:Pvr_bgp.Asn.t ->
+  epoch:Wire.epoch ->
+  prefix:Pvr_bgp.Prefix.t ->
+  Wire.announce Wire.signed list ->
+  bool list
+(** Batch form of {!valid_input}, one verdict per announce in order.
+    Signature checks go through {!Wire.verify_batch}, so duplicate
+    announces cost a single RSA verification. *)
+
 val opening_bit_at :
   Wire.commit Wire.signed ->
   index:int ->

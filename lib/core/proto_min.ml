@@ -19,11 +19,13 @@ let prove ?(max_path_len = default_max_path_len) rng keyring ~prover
     ~beneficiary ~epoch ~prefix ~inputs =
   Pvr_obs.with_span "proto_min.prove" @@ fun () ->
   let inputs =
-    List.filter
-      (fun ann ->
-        valid_input keyring ~prover ~epoch ~prefix ann
-        && path_len ann <= max_path_len)
+    (* Input-signature checks are the per-round RSA bill; batch them. *)
+    List.map2
+      (fun ann ok -> (ann, ok))
       inputs
+      (valid_inputs keyring ~prover ~epoch ~prefix inputs)
+    |> List.filter_map (fun (ann, ok) ->
+           if ok && path_len ann <= max_path_len then Some ann else None)
   in
   let lengths = List.map path_len inputs in
   let shortest = List.fold_left min max_int lengths in

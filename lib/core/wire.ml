@@ -35,6 +35,34 @@ let verify keyring ~encode s =
         ~signature:s.signature
   | exception Not_found -> false
 
+(* A heterogeneous batch member: the payload type is packed away so one
+   [verify_batch] call can mix announces, commits and exports. *)
+type check = Check : { item : 'a signed; encode : 'a -> string } -> check
+
+let check ~encode item = Check { item; encode }
+
+let verify_batch keyring checks =
+  (* Resolve keys (memoized by [Keyring]); unknown signers are verdicted
+     [false] without consulting RSA, exactly like [verify]. *)
+  let resolved =
+    List.map
+      (fun (Check { item; encode }) ->
+        match Keyring.public_key keyring item.signer with
+        | pub -> Some (pub, signing_tag ^ encode item.payload, item.signature)
+        | exception Not_found -> None)
+      checks
+  in
+  let known = List.filter_map Fun.id resolved in
+  let verdicts = C.Rsa.verify_batch known in
+  let rec stitch resolved verdicts =
+    match (resolved, verdicts) with
+    | [], [] -> []
+    | None :: rest, vs -> false :: stitch rest vs
+    | Some _ :: rest, v :: vs -> v :: stitch rest vs
+    | _ -> invalid_arg "Wire.verify_batch: verdict arity mismatch"
+  in
+  stitch resolved verdicts
+
 type announce = { ann_epoch : epoch; ann_to : Bgp.Asn.t; ann_route : Bgp.Route.t }
 
 type commit = {

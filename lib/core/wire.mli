@@ -24,6 +24,19 @@ val verify : Keyring.t -> encode:('a -> string) -> 'a signed -> bool
 (** Check the signature against the signer's public key in the keyring.
     Returns [false] (never raises) for unknown signers. *)
 
+type check
+(** One member of a {!verify_batch} call, payload type packed away so a
+    batch can mix statement kinds. *)
+
+val check : encode:('a -> string) -> 'a signed -> check
+
+val verify_batch : Keyring.t -> check list -> bool list
+(** One verdict per check, in order; agrees with per-item {!verify}
+    (unknown signers are [false]).  Same-signer groups are screened with a
+    single exponentiation and duplicate statements are verified once
+    ({!Pvr_crypto.Rsa.verify_batch}), which is what amortizes dirty-set
+    and gossip verification. *)
+
 (** {2 Statements} *)
 
 type announce = {

@@ -400,7 +400,11 @@ let to_string a =
     String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
   end
 
-let mod_pow ~base:b ~exp ~modulus =
+(* Square-and-multiply with a full Knuth division per step.  Retained
+   verbatim as the differential-test oracle for the Montgomery fast path
+   below; never removed, because "slow and obviously right" is exactly
+   what a fast-math rewrite must be checked against. *)
+let mod_pow_naive ~base:b ~exp ~modulus =
   if is_zero modulus then raise Division_by_zero;
   if equal modulus one then zero
   else begin
@@ -413,6 +417,164 @@ let mod_pow ~base:b ~exp ~modulus =
     done;
     !result
   end
+
+(* ---- Montgomery arithmetic (odd moduli) --------------------------------
+
+   Operands live as fixed-width little-endian limb vectors of the modulus
+   width [k]; a value [x] is represented as [x * R mod m] with
+   [R = base^k].  [mont_mul] is word-by-word CIOS (Koç–Acar–Kaliski):
+   interleaved multiply and reduce, one limb of the multiplier at a time.
+
+   Bounds: with 31-bit limbs the inner sum [t.(j) + ai * b.(j) + carry] is
+   at most (2^31-1) + (2^31-1)^2 + (2^31-1) = 2^62 - 1 = max_int, so CIOS
+   runs on native ints with no overflow. *)
+
+type mont = {
+  m : int array;  (* modulus limbs, width k *)
+  k : int;
+  m0' : int;  (* -m^-1 mod 2^31 *)
+  rr : t;  (* R^2 mod m *)
+  one_r : int array;  (* R mod m, i.e. Montgomery form of 1 *)
+  t : int array;  (* CIOS scratch, width k+2; contexts are single-owner *)
+}
+
+(* Inverse of an odd limb modulo 2^31 by Newton doubling: each step doubles
+   the number of correct low bits, so five steps cover 31 bits.  Products of
+   two 31-bit values stay below max_int. *)
+let inv_limb m0 =
+  let x = ref 1 in
+  for _ = 1 to 5 do
+    x := !x * ((2 - (m0 * !x)) land limb_mask) land limb_mask
+  done;
+  !x
+
+let mont_pad ctx (a : t) =
+  let out = Array.make ctx.k 0 in
+  Array.blit a 0 out 0 (Array.length a);
+  out
+
+(* r := a * b * R^-1 mod m.  [a], [b], [r] are width-k vectors; [r] may
+   alias [a] or [b] (all reads happen before the final writeback). *)
+let mont_mul ctx (a : int array) (b : int array) (r : int array) =
+  let k = ctx.k and m = ctx.m and m0' = ctx.m0' and t = ctx.t in
+  Array.fill t 0 (k + 2) 0;
+  for i = 0 to k - 1 do
+    let ai = Array.unsafe_get a i in
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s = Array.unsafe_get t j + (ai * Array.unsafe_get b j) + !c in
+      Array.unsafe_set t j (s land limb_mask);
+      c := s lsr limb_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k) <- s land limb_mask;
+    t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
+    (* One reduction step: add m_ * m so the low limb cancels, shift down. *)
+    let m_ = t.(0) * m0' land limb_mask in
+    let c = ref ((t.(0) + (m_ * m.(0))) lsr limb_bits) in
+    for j = 1 to k - 1 do
+      let s = Array.unsafe_get t j + (m_ * Array.unsafe_get m j) + !c in
+      Array.unsafe_set t (j - 1) (s land limb_mask);
+      c := s lsr limb_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k - 1) <- s land limb_mask;
+    t.(k) <- t.(k + 1) + (s lsr limb_bits);
+    t.(k + 1) <- 0
+  done;
+  (* t < 2m here; one conditional subtract restores t < m. *)
+  let ge =
+    t.(k) > 0
+    ||
+    let rec cmp j =
+      j < 0 || (if t.(j) <> m.(j) then t.(j) > m.(j) else cmp (j - 1))
+    in
+    cmp (k - 1)
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let d = t.(j) - m.(j) - !borrow in
+      if d < 0 then begin
+        r.(j) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(j) <- d;
+        borrow := 0
+      end
+    done
+  end
+  else Array.blit t 0 r 0 k
+
+let mont_create (modulus : t) =
+  let k = Array.length modulus in
+  let m = Array.copy modulus in
+  let m0' = base - inv_limb m.(0) land limb_mask in
+  let rr = rem (shift_left one (2 * k * limb_bits)) modulus in
+  let ctx =
+    { m; k; m0' = m0' land limb_mask; rr; one_r = [||]; t = Array.make (k + 2) 0 }
+  in
+  let one_r = mont_pad ctx (rem (shift_left one (k * limb_bits)) modulus) in
+  { ctx with one_r }
+
+let to_mont ctx (a : t) r = mont_mul ctx (mont_pad ctx a) (mont_pad ctx ctx.rr) r
+
+(* Fixed-window (w=4) exponentiation: 16-entry table of Montgomery powers,
+   then MSB-first 4-bit windows with 4 squarings between digits. *)
+let window_bits = 4
+
+let mod_pow_mont ~base:b ~exp ~modulus =
+  let ctx = mont_create modulus in
+  let k = ctx.k in
+  let table = Array.init (1 lsl window_bits) (fun _ -> Array.make k 0) in
+  Array.blit ctx.one_r 0 table.(0) 0 k;
+  to_mont ctx (rem b modulus) table.(1);
+  for i = 2 to (1 lsl window_bits) - 1 do
+    mont_mul ctx table.(i - 1) table.(1) table.(i)
+  done;
+  let nbits = bit_length exp in
+  let nwin = (nbits + window_bits - 1) / window_bits in
+  let digit w =
+    let lo = w * window_bits in
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) ((acc lsl 1) lor (if test_bit exp (lo + i) then 1 else 0))
+    in
+    go (window_bits - 1) 0
+  in
+  let acc = Array.make k 0 in
+  if nwin = 0 then Array.blit ctx.one_r 0 acc 0 k
+  else begin
+    Array.blit table.(digit (nwin - 1)) 0 acc 0 k;
+    for w = nwin - 2 downto 0 do
+      for _ = 1 to window_bits do
+        mont_mul ctx acc acc acc
+      done;
+      let d = digit w in
+      if d <> 0 then mont_mul ctx acc table.(d) acc
+    done
+  end;
+  (* Leave Montgomery form: multiply by 1 (un-Montgomeried). *)
+  let out = Array.make k 0 in
+  let one_v = Array.make k 0 in
+  one_v.(0) <- 1;
+  mont_mul ctx acc one_v out;
+  normalize out
+
+(* The naive path stays selectable so the bench can time the exact pre-fast
+   implementation and assert digest equality against it.  Toggled only
+   between runs from a single domain; concurrent readers are safe. *)
+let fast_mod_pow = ref true
+let set_fast_mod_pow b = fast_mod_pow := b
+let fast_mod_pow_enabled () = !fast_mod_pow
+
+let mod_pow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else if !fast_mod_pow && not (is_even modulus) then
+    mod_pow_mont ~base:b ~exp ~modulus
+  else mod_pow_naive ~base:b ~exp ~modulus
 
 let rec gcd a b = if is_zero b then a else gcd b (rem a b)
 

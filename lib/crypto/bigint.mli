@@ -65,8 +65,27 @@ val rem_int : t -> int -> int
 (** Remainder by a positive native int. *)
 
 val mod_pow : base:t -> exp:t -> modulus:t -> t
-(** Modular exponentiation by square-and-multiply.
+(** Modular exponentiation.  Odd moduli take the fast path: Montgomery
+    representation with word-by-word CIOS multiplication and fixed-window
+    (w=4) exponentiation.  Even moduli (and the naive toggle below) fall
+    back to {!mod_pow_naive}.  Both paths return identical values — the
+    differential test battery asserts it on random inputs.
     @raise Division_by_zero if [modulus] is zero. *)
+
+val mod_pow_naive : base:t -> exp:t -> modulus:t -> t
+(** The original square-and-multiply implementation, one Knuth division per
+    step.  Retained deliberately as the test oracle for the Montgomery fast
+    path; like the fast path it is {b not constant-time} and must not be
+    treated as side-channel hardened.
+    @raise Division_by_zero if [modulus] is zero. *)
+
+val set_fast_mod_pow : bool -> unit
+(** Route {!mod_pow} through the naive oracle ([false]) or the Montgomery
+    fast path ([true], the default).  Exists so benchmarks can time the
+    exact pre-fast-path implementation and assert digest equality between
+    the two; toggle only between runs, not concurrently with them. *)
+
+val fast_mod_pow_enabled : unit -> bool
 
 val gcd : t -> t -> t
 

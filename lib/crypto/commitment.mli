@@ -45,22 +45,48 @@ val commit_derived :
     value equality across positions. *)
 
 (** Memo table over {!commit_derived} for the engine's incremental
-    verification: one cache per (prover, salt period), keyed by
-    [(context, value)].  Hits and misses are exported through {!Pvr_obs}
-    as ["crypto.commitment.cache.hits"]/[".misses"]; a hit performs no
-    SHA-256 work at all. *)
+    verification: one cache per prover, scoped to an epoch-salt period.
+    Two levels — per-[(context, value)] entries plus a whole-bit-vector
+    memo keyed by [(vertex id, bit pattern)], so a quiet vertex answers
+    all k of its commitments with one lookup and zero context-string
+    construction.  Derived-nonce misses run over a precomputed HMAC key
+    and a fixed-width SHA-256 template, but produce byte-identical
+    commitments to the uncached {!commit_derived} path; the per-bit index
+    always stays in the nonce context (collapsing equal bits across
+    positions would leak the committed threshold).  Hits and misses are
+    exported through {!Pvr_obs} as ["crypto.commitment.cache.hits"] /
+    [".misses"] (a vector hit counts one hit per bit, plus
+    [".vector.hits"]); a hit performs no SHA-256 work at all. *)
 module Cache : sig
   type t
 
-  val create : key:string -> unit -> t
-  (** [key] is the derived-nonce HMAC key (the epoch salt). *)
+  val create : ?period:int -> key:string -> unit -> t
+  (** [key] is the derived-nonce HMAC key (the epoch salt); [period]
+      (default 0) is the salt period the key belongs to. *)
+
+  val period : t -> int
+
+  val rotate : t -> period:int -> key:string -> unit
+  (** Salt rotation: if [period] (or [key]) differs from the cache's
+      current one, drop every entry and re-key; otherwise a no-op.  Lets
+      long-lived caches survive rotation without reallocating. *)
 
   val commit : t -> context:string -> string -> commitment * opening
   val commit_bit : t -> context:string -> bool -> commitment * opening
 
+  val commit_bit_vector :
+    t ->
+    vertex:string ->
+    context:(int -> string) ->
+    bool list ->
+    (commitment * opening) list
+  (** Commit a whole bit vector through the vector memo.  [vertex] must
+      uniquely identify the committing position (e.g. ["prover|prefix"]);
+      [context i] must be the exact per-bit context the per-bit path would
+      use for 0-based index [i] (it is only called on a vector miss). *)
+
   val clear : t -> unit
-  (** Drop every entry (on salt rotation — the key a cache was created
-      with never changes, so rotating means creating or clearing). *)
+  (** Drop every entry (either memo level). *)
 
   val size : t -> int
 end

@@ -4,11 +4,30 @@ let normalize_key key =
   let key = if String.length key > block then Sha256.digest key else key in
   key ^ String.make (block - String.length key) '\x00'
 
-let mac ~key msg =
-  let key = normalize_key key in
-  let ipad = Bytes_util.xor key (String.make block '\x36') in
-  let opad = Bytes_util.xor key (String.make block '\x5c') in
-  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+(* A prepared key: the inner (key xor ipad) and outer (key xor opad) blocks
+   are absorbed once into midstates, so each MAC under the same key costs
+   two {!Sha256.copy}s instead of re-hashing both pad blocks — for short
+   messages that halves the compression count. *)
+module Key = struct
+  type t = { inner : Sha256.ctx; outer : Sha256.ctx }
+
+  let create key =
+    let key = normalize_key key in
+    let inner = Sha256.init () and outer = Sha256.init () in
+    Sha256.update inner (Bytes_util.xor key (String.make block '\x36'));
+    Sha256.update outer (Bytes_util.xor key (String.make block '\x5c'));
+    { inner; outer }
+end
+
+let mac_with (k : Key.t) msg =
+  let ictx = Sha256.copy k.Key.inner in
+  Sha256.update ictx msg;
+  let inner = Sha256.finalize ictx in
+  let octx = Sha256.copy k.Key.outer in
+  Sha256.update octx inner;
+  Sha256.finalize octx
+
+let mac ~key msg = mac_with (Key.create key) msg
 
 let mac_hex ~key msg = Hex.encode (mac ~key msg)
 

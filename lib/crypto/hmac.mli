@@ -3,6 +3,19 @@
     Used by {!Drbg} for deterministic random-bit generation and available as
     a keyed integrity primitive for PVR transport messages. *)
 
+(** A prepared key with the inner/outer pad blocks pre-absorbed into
+    SHA-256 midstates.  Create once per key, MAC many times: saves two of
+    the four compressions a short-message {!mac} costs. *)
+module Key : sig
+  type t
+
+  val create : string -> t
+end
+
+val mac_with : Key.t -> string -> string
+(** MAC under a prepared key; byte-identical to {!mac} with the same key
+    material (the KAT suite asserts it across the RFC 4231 vectors). *)
+
 val mac : key:string -> string -> string
 (** [mac ~key msg] is the 32-byte HMAC-SHA-256 tag of [msg] under [key].
     Keys of any length are accepted (hashed down if longer than one block). *)

@@ -28,9 +28,29 @@ val key_size : public_key -> int
 (** Modulus size in bytes. *)
 
 val sign : private_key -> string -> string
-(** Signature over SHA-256 of the message, one modulus-width string. *)
+(** Signature over SHA-256 of the message, one modulus-width string.
+    CRT-accelerated over the Montgomery fast path; byte-identical to
+    {!sign_plain} (signatures here are deterministic). *)
+
+val sign_plain : private_key -> string -> string
+(** Plain [x^d mod n] over the retained naive exponentiation — the
+    differential-test oracle for CRT signing.  Like everything in this
+    module it is {b not constant-time}; it exists for tests and benches,
+    not as a hardened fallback. *)
 
 val verify : public_key -> msg:string -> signature:string -> bool
+
+val verify_batch : (public_key * string * string) list -> bool list
+(** [verify_batch [(pub, msg, signature); ...]] returns one verdict per
+    item, in order.  Same-key groups of two or more are screened with one
+    exponentiation over the signature and encoding products
+    (Bellare–Garay–Rabin); a failed screen falls back to per-item
+    {!verify}, so the returned mask marks exactly the forged items.
+    Identical triples are verified once.  The screen accepts everything a
+    per-item pass accepts; the only divergence an adversary could induce
+    is a batch of forgeries whose errors cancel inside the product, which
+    the fallback path never sees because honest inputs screen clean —
+    per-item {!verify} remains the oracle. *)
 
 val raw_apply_public : public_key -> Bigint.t -> Bigint.t
 (** The raw RSA permutation x -> x^e mod n, used by {!Ring_signature}. *)

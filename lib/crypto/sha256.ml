@@ -29,24 +29,47 @@ type ctx = {
   w : int array;              (* message schedule scratch, 64 words *)
 }
 
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+     0x1f83d9ab; 0x5be0cd19 |]
+
 let init () =
   {
-    h =
-      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
-         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    h = Array.copy iv;
     buf = Bytes.create block_size;
     buf_len = 0;
     total = 0L;
     w = Array.make 64 0;
   }
 
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0L
+
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    w = Array.make 64 0;
+  }
+
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-(* Compress one 64-byte block located at [off] in [src]. *)
-let compress ctx (src : string) off =
-  let w = ctx.w in
+(* Callers guarantee [off + 64 <= String.length s]. *)
+let read_be32_unsafe (s : string) off =
+  (Char.code (String.unsafe_get s off) lsl 24)
+  lor (Char.code (String.unsafe_get s (off + 1)) lsl 16)
+  lor (Char.code (String.unsafe_get s (off + 2)) lsl 8)
+  lor Char.code (String.unsafe_get s (off + 3))
+
+(* Compress one 64-byte block located at [off] in [src] into [h], using
+   [w] as schedule scratch. *)
+let compress_raw (h : int array) (w : int array) (src : string) off =
   for t = 0 to 15 do
-    w.(t) <- Bytes_util.read_be32 src (off + 4 * t)
+    w.(t) <- read_be32_unsafe src (off + 4 * t)
   done;
   for t = 16 to 63 do
     let s0 =
@@ -57,7 +80,6 @@ let compress ctx (src : string) off =
     in
     w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
   done;
-  let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for t = 0 to 63 do
@@ -85,6 +107,8 @@ let compress ctx (src : string) off =
   h.(6) <- (h.(6) + !g) land mask32;
   h.(7) <- (h.(7) + !hh) land mask32
 
+let compress ctx (src : string) off = compress_raw ctx.h ctx.w src off
+
 let update ctx s =
   let len = String.length s in
   ctx.total <- Int64.add ctx.total (Int64.of_int len);
@@ -109,38 +133,63 @@ let update ctx s =
     ctx.buf_len <- len - !pos
   end
 
+(* Serialize [h] as the 32-byte big-endian digest. *)
+let output_of (h : int array) =
+  let out = Bytes.create digest_size in
+  for i = 0 to 7 do
+    let v = h.(i) in
+    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr (v lsr 24));
+    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let write_be64 (b : Bytes.t) off (v : int64) =
+  for i = 0 to 7 do
+    Bytes.unsafe_set b (off + i)
+      (Char.unsafe_chr
+         (Int64.to_int (Int64.shift_right_logical v (56 - (8 * i))) land 0xff))
+  done
+
+(* Padding happens in place in [ctx.buf]: append 0x80, zero-fill, write the
+   bit length into the last 8 bytes of the final block.  No intermediate
+   strings are allocated — finalize used to build and re-feed a padding
+   string, which at 10M+ finalizes per bench run was real garbage. *)
 let finalize ctx =
   Pvr_obs.incr obs_ops;
   Pvr_obs.add obs_bytes (Int64.to_int ctx.total);
   let bit_len = Int64.mul ctx.total 8L in
-  let pad_len =
-    let rem = (ctx.buf_len + 1 + 8) mod block_size in
-    if rem = 0 then 1 else 1 + (block_size - rem)
-  in
-  let padding =
-    String.init pad_len (fun i -> if i = 0 then '\x80' else '\x00')
-  in
-  (* Bypass the [total] accounting: feed padding through the buffer path. *)
-  let tail = padding ^ Bytes_util.be64 bit_len in
-  let saved_total = ctx.total in
-  update ctx tail;
-  ctx.total <- saved_total;
-  assert (ctx.buf_len = 0);
-  String.concat "" (Array.to_list (Array.map Bytes_util.be32 ctx.h))
+  let buf = ctx.buf in
+  Bytes.set buf ctx.buf_len '\x80';
+  if ctx.buf_len >= block_size - 8 then begin
+    Bytes.fill buf (ctx.buf_len + 1) (block_size - ctx.buf_len - 1) '\x00';
+    compress ctx (Bytes.unsafe_to_string buf) 0;
+    Bytes.fill buf 0 (block_size - 8) '\x00'
+  end
+  else Bytes.fill buf (ctx.buf_len + 1) (block_size - 9 - ctx.buf_len) '\x00';
+  write_be64 buf (block_size - 8) bit_len;
+  compress ctx (Bytes.unsafe_to_string buf) 0;
+  ctx.buf_len <- 0;
+  output_of ctx.h
 
-let digest s =
-  let ctx = init () in
+let digest_with ctx s =
+  reset ctx;
   update ctx s;
   finalize ctx
 
+let digest s = digest_with (init ()) s
+
 let digest_hex s = Hex.encode (digest s)
+
+let digest_many ctx parts = List.map (digest_with ctx) parts
 
 (* Digest-of-state helper: each part is fed length-framed, so the digest
    is unambiguous under concatenation — ["ab"; "c"] and ["a"; "bc"] hash
    differently.  The engine uses this to fingerprint simulator RIB state
    for checkpoint validation. *)
-let digest_parts parts =
-  let ctx = init () in
+let digest_parts_with ctx parts =
+  reset ctx;
   List.iter
     (fun p ->
       update ctx (Bytes_util.be64 (Int64.of_int (String.length p)));
@@ -148,4 +197,42 @@ let digest_parts parts =
     parts;
   finalize ctx
 
+let digest_parts parts = digest_parts_with (init ()) parts
+
 let digest_parts_hex parts = Hex.encode (digest_parts parts)
+
+(* ---- Fixed-width one-shot hashing --------------------------------------
+
+   The engine's hottest hashes have a fixed message width (per-bit
+   commitment preimages, length-framed digest blocks), so the entire padded
+   layout — 0x80 marker, zero fill, 64-bit length — is known up front.
+   [Fixed.create] builds that padded block template once; each digest then
+   just blits the message over the template and compresses, skipping the
+   buffering/padding machinery entirely.  A [Fixed.t] carries its own
+   scratch state and is single-owner, like {!ctx}. *)
+module Fixed = struct
+  type t = { len : int; blocks : Bytes.t; fh : int array; fw : int array }
+
+  let create len =
+    if len < 0 then invalid_arg "Sha256.Fixed.create: negative width";
+    let nblocks = (len + 1 + 8 + block_size - 1) / block_size in
+    let blocks = Bytes.make (nblocks * block_size) '\x00' in
+    Bytes.set blocks len '\x80';
+    write_be64 blocks ((nblocks * block_size) - 8) (Int64.of_int (len * 8));
+    { len; blocks; fh = Array.make 8 0; fw = Array.make 64 0 }
+
+  let width t = t.len
+
+  let digest t msg =
+    if String.length msg <> t.len then
+      invalid_arg "Sha256.Fixed.digest: width mismatch";
+    Pvr_obs.incr obs_ops;
+    Pvr_obs.add obs_bytes t.len;
+    Bytes.blit_string msg 0 t.blocks 0 t.len;
+    Array.blit iv 0 t.fh 0 8;
+    let s = Bytes.unsafe_to_string t.blocks in
+    for b = 0 to (Bytes.length t.blocks / block_size) - 1 do
+      compress_raw t.fh t.fw s (b * block_size)
+    done;
+    output_of t.fh
+end

@@ -7,18 +7,37 @@
     hashing of BGP message batches. *)
 
 type ctx
-(** Mutable hashing context. *)
+(** Mutable hashing context.  Single-owner: a ctx must not be shared across
+    domains without external synchronization. *)
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Return the context to its initial state.  Lets hot loops reuse one
+    allocation for any number of digests (see {!digest_with}). *)
+
+val copy : ctx -> ctx
+(** Clone the running state (a {e midstate}).  HMAC uses this to precompute
+    the keyed inner/outer block once per key. *)
 
 val update : ctx -> string -> unit
 (** Absorb more input.  May be called any number of times. *)
 
 val finalize : ctx -> string
-(** Produce the 32-byte digest.  The context must not be reused. *)
+(** Produce the 32-byte digest.  Pads in place — no intermediate
+    allocation.  The context must be {!reset} before any reuse. *)
 
 val digest : string -> string
 (** One-shot hash: 32-byte (raw, not hex) digest of the input. *)
+
+val digest_with : ctx -> string -> string
+(** One-shot hash through a caller-owned reusable context ({!reset} +
+    {!update} + {!finalize}); identical output to {!digest} with no per-op
+    context allocation. *)
+
+val digest_many : ctx -> string list -> string list
+(** Multi-buffer one-shot: digest each independent input through one
+    reusable context, in order.  Equivalent to [List.map digest]. *)
 
 val digest_hex : string -> string
 (** One-shot hash, hex-encoded (64 characters). *)
@@ -30,6 +49,29 @@ val digest_parts : string list -> string
 
 val digest_parts_hex : string list -> string
 (** {!digest_parts}, hex-encoded. *)
+
+val digest_parts_with : ctx -> string list -> string
+(** {!digest_parts} through a caller-owned reusable context. *)
+
+(** Fixed-width one-shot hashing with a precomputed padded layout.
+
+    For messages of a known constant width (per-bit commitment preimages,
+    length-framed digest blocks) the whole padding — 0x80 marker, zero
+    fill, 64-bit length — is computed once at {!Fixed.create}; each
+    {!Fixed.digest} blits the message over the template and compresses.
+    Output is identical to {!digest} (the KAT suite asserts it).  A
+    [Fixed.t] owns mutable scratch and is single-owner, like {!ctx}. *)
+module Fixed : sig
+  type t
+
+  val create : int -> t
+  (** Template for messages of exactly that many bytes. *)
+
+  val width : t -> int
+
+  val digest : t -> string -> string
+  (** @raise Invalid_argument if the message width does not match. *)
+end
 
 val digest_size : int
 (** 32. *)

@@ -153,11 +153,22 @@ let salt t ~period =
 
 let fresh_vcache t ~period =
   {
-    ccache = C.Commitment.Cache.create ~key:(salt t ~period) ();
+    ccache = C.Commitment.Cache.create ~period ~key:(salt t ~period) ();
     ann_memo = Hashtbl.create 32;
     cmt_memo = Hashtbl.create 8;
     exp_memo = Hashtbl.create 8;
   }
+
+(* Salt rotation: reuse the carried vcache's allocations, invalidate every
+   entry.  The signed-message memos key on encodings that embed the wire
+   epoch, so after rotation their entries could never hit again — reset
+   them rather than letting them accumulate. *)
+let recycle_vcache t vc ~period =
+  C.Commitment.Cache.rotate vc.ccache ~period ~key:(salt t ~period);
+  Hashtbl.reset vc.ann_memo;
+  Hashtbl.reset vc.cmt_memo;
+  Hashtbl.reset vc.exp_memo;
+  vc
 
 (* [Intern.encode] is byte-identical to [Route.encode]; with interning on
    it is memoized per canonical route, which removes the dominant per-epoch
@@ -291,9 +302,12 @@ let fast_round keyring ~max_path_len ~wire_epoch vc (sn : snapshot) =
       (Bgp.Prefix.to_string prefix) wire_epoch (i + 1)
   in
   let committed =
-    List.mapi
-      (fun i b -> C.Commitment.Cache.commit_bit vc.ccache ~context:(ctx i) b)
-      bits
+    (* Vector-level memo: a quiet vertex recommitting to the same bit
+       pattern within a salt period pays zero hash work.  [ctx] embeds the
+       wire epoch, which is constant within a period, so vector hits return
+       the very commitments a per-bit recomputation would produce. *)
+    C.Commitment.Cache.commit_bit_vector vc.ccache
+      ~vertex:(vertex_key sn.sn_vertex) ~context:ctx bits
   in
   let commit =
     sign_memo vc.cmt_memo keyring ~as_:prover ~encode:Pvr.Wire.encode_commit
@@ -574,6 +588,7 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
          (fun (_, _, prev) ->
            match prev with
            | Some vs when t.cache && vs.vs_period = period -> vs.vs_cache
+           | Some vs when t.cache -> recycle_vcache t vs.vs_cache ~period
            | _ -> fresh_vcache t ~period)
          dirty)
   in

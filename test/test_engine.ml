@@ -229,6 +229,40 @@ let cache_reduces_sha256 () =
   check_bool "vertices skipped counted" true
     (delta d_on "engine.vertices.skipped" > 0)
 
+let fast_crypto_equals_naive_digest () =
+  (* The fast-math acceptance gate as a differential test: rerouting every
+     modular exponentiation through the naive square-and-multiply oracle
+     must reproduce the byte-identical engine digest for the same seed. *)
+  let eng_fast, _ = run_engine ~seed:91 ~epochs:3 ~turnover:0.3 () in
+  check_bool "fast path on" true (C.Bigint.fast_mod_pow_enabled ());
+  C.Bigint.set_fast_mod_pow false;
+  Fun.protect ~finally:(fun () -> C.Bigint.set_fast_mod_pow true) @@ fun () ->
+  let eng_naive, _ = run_engine ~seed:91 ~epochs:3 ~turnover:0.3 () in
+  check_string "digest byte-identical fast vs naive modexp"
+    (E.digest eng_fast) (E.digest eng_naive)
+
+let commitment_cache_hits_under_churn () =
+  (* The PR-7 regression floor: under 20% turnover inside one salt period,
+     the commitment cache (per-bit entries plus the vector memo) must
+     absorb a substantial share of the recommitment work, and the cached
+     run's digest must stay byte-identical to the cache-off run. *)
+  let (eng_on, _), d_on =
+    counted (fun () -> run_engine ~cache:true ~seed:77 ~epochs:5 ~turnover:0.2 ())
+  in
+  let eng_off, _ = run_engine ~cache:false ~seed:77 ~epochs:5 ~turnover:0.2 () in
+  check_string "digest byte-identical cache-on vs cache-off"
+    (E.digest eng_on) (E.digest eng_off);
+  (* The floor is calibrated to this seeded world: 5 epochs with a salt
+     rotation (full invalidation) every 3, so only dirty-but-recommitting
+     vertices inside a period can hit.  The deterministic run yields 61
+     hits; 40 leaves headroom without letting the cache silently die. *)
+  let hits = delta d_on "crypto.commitment.cache.hits" in
+  check_bool
+    (Printf.sprintf "cache hits above floor (hits=%d)" hits)
+    true (hits >= 40);
+  check_bool "vector memo engaged" true
+    (delta d_on "crypto.commitment.cache.vector.hits" > 0)
+
 let engine_memo_hits_on_partial_churn () =
   (* Deterministic partial-churn schedule: epoch 2 adds a second origin for
      a prefix announced in epoch 1, inside the same salt period.  Vertices
@@ -391,6 +425,10 @@ let suite =
     incremental_equals_scratch_qcheck;
     Alcotest.test_case "engine: cache reduces SHA-256 finalizes" `Quick
       cache_reduces_sha256;
+    Alcotest.test_case "engine: fast modexp ≡ naive modexp digest" `Quick
+      fast_crypto_equals_naive_digest;
+    Alcotest.test_case "engine: commitment-cache hits under 20% churn" `Quick
+      commitment_cache_hits_under_churn;
     Alcotest.test_case "engine: memo hits on partial churn" `Quick
       engine_memo_hits_on_partial_churn;
     Alcotest.test_case "engine: accuracy under faults (multi-epoch soak)"

@@ -6,6 +6,7 @@
 let suites =
   [
     ("crypto", Test_crypto.suite);
+    ("crypto-kat", Test_crypto_kat.suite);
     ("merkle", Test_merkle.suite);
     ("bgp", Test_bgp.suite);
     ("rfg", Test_rfg.suite);
@@ -19,7 +20,7 @@ let suites =
     ("adversary", Test_adversary.suite);
   ]
 
-let expected_tests = 386
+let expected_tests = 413
 
 let () =
   let total = List.fold_left (fun n (_, s) -> n + List.length s) 0 suites in
