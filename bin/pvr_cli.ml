@@ -51,6 +51,24 @@ let behaviour_conv =
   let print ppf b = Format.pp_print_string ppf (P.Adversary.to_string b) in
   Cmdliner.Arg.conv (parse, print)
 
+let strategy_conv =
+  let parse s =
+    match P.Adversary.strategy_of_string s with
+    | Some st -> Ok st
+    | None ->
+        Error
+          (`Msg
+            ("unknown strategy; one of: "
+            ^ String.concat ", "
+                (List.map P.Adversary.strategy_to_string
+                   P.Adversary.all_strategies)
+            ^ ", or any behaviour name for a sweep of it"))
+  in
+  let print ppf st =
+    Format.pp_print_string ppf (P.Adversary.strategy_to_string st)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
 let run_round behaviour k bits seed dump_evidence stats =
   with_stats stats (fun () ->
   let failed = ref false in
@@ -213,6 +231,7 @@ type eparams = {
   p_ppo : int;
   p_anycast : int;
   p_drop : float;
+  p_strategy : P.Adversary.strategy;
 }
 
 type world = {
@@ -301,8 +320,8 @@ let engine_core ?(quiet = false) ?(on_phase = fun ~epoch:_ (_ : string) -> ())
   in
   let eng =
     Pvr_engine.Engine.create ~jobs:p.p_jobs ~shards:p.p_shards ~cache:p.p_cache
-      ~salt_every:p.p_salt_every ?faults world.w_engine_rng world.w_keyring
-      ~topology:world.w_topo ~sim ()
+      ~salt_every:p.p_salt_every ~strategy:p.p_strategy ?faults
+      world.w_engine_rng world.w_keyring ~topology:world.w_topo ~sim ()
   in
   let apply ~epoch sim =
     if epoch = 1 then List.length (G.Update_gen.Churn.seed world.w_churn sim)
@@ -1096,9 +1115,21 @@ let eparams_term =
             "Per-message drop probability; non-zero routes every round \
              through the fault-injected network.")
   in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv (P.Adversary.Sweep P.Adversary.Honest)
+      & info [ "strategy" ]
+          ~doc:
+            "Adversary strategy planning per-vertex behaviours (default \
+             honest).  Canonical names: honest, coalition-false-bits, \
+             cross-shard-equivocate, adaptive-low-value, timing-probe; any \
+             single behaviour name (e.g. equivocate) selects a sweep of \
+             it.")
+  in
   let make p_seed p_tiers p_peering p_ases p_gen_seed p_epochs p_jobs p_shards
       p_intern p_bits p_cache p_salt_every p_turnover p_origins p_ppo p_anycast
-      p_drop =
+      p_drop p_strategy =
     {
       p_seed;
       p_tiers;
@@ -1117,12 +1148,13 @@ let eparams_term =
       p_ppo;
       p_anycast;
       p_drop;
+      p_strategy;
     }
   in
   Term.(
     const make $ seed $ tiers $ peering $ ases $ gen_seed $ epochs $ jobs
     $ shards $ intern $ bits $ cache $ salt_every $ turnover $ origins
-    $ prefixes_per_origin $ anycast $ drop)
+    $ prefixes_per_origin $ anycast $ drop $ strategy)
 
 let checkpoint_every_arg =
   Arg.(
@@ -1312,6 +1344,87 @@ let adversary_cmd =
       const run_adversary $ strategy $ coalition $ seed $ ases $ epochs $ jobs
       $ bits $ stats_arg)
 
+(* ---- query ---------------------------------------------------------------- *)
+
+(* Indexed audit queries over a checkpointed engine run's evidence plane.
+   Exit codes follow the house contract: 0 rows returned (possibly none),
+   2 query parse error, 3 missing/unreadable store. *)
+let run_query qtext store_dir viewer json explain stats =
+  with_stats stats (fun () ->
+      match Pvr_query.Lang.parse qtext with
+      | Error e ->
+          Printf.eprintf "pvr query: syntax error\n%s\n%!"
+            (Pvr_query.Lang.render_error ~query:qtext e);
+          2
+      | Ok q -> (
+          match Pvr_query.Evidence_index.build ~dir:store_dir () with
+          | Error e ->
+              Printf.eprintf "pvr query: %s\n%!" e;
+              3
+          | Ok idx ->
+              let viewer = asn viewer in
+              let res = Pvr_query.Exec.run idx ~viewer q in
+              if explain then
+                Printf.eprintf "%s\n%!"
+                  (Pvr_query.Exec.explain res.Pvr_query.Exec.qr_plan);
+              if json then
+                print_endline (Pvr_query.Exec.render_json ~query:q ~viewer res)
+              else print_string (Pvr_query.Exec.render_text ~viewer res);
+              0))
+
+let query_cmd =
+  let qtext =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Query text, e.g. 'violations where prefix in 10.0.0.0/8 and \
+             epoch > 40 order by epoch limit 20'.")
+  in
+  let store =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint store of an engine run ($(b,pvr engine --checkpoint \
+             DIR)) to query.")
+  in
+  let viewer =
+    Arg.(
+      value & opt int 0
+      & info [ "viewer" ] ~docv:"ASN"
+          ~doc:
+            "Execute as this viewer AS: rows the α map does not authorize \
+             it to see are withheld (and accounted as refusals).  0 \
+             (default) is the court pseudo-viewer, which sees everything.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable single-line JSON on stdout instead of a \
+             table; byte-identical for identical results (the crash-smoke \
+             diffs live vs recovered output).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the chosen access path and every considered \
+             alternative with costs, on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Run an indexed audit query over the evidence plane of a \
+          checkpointed engine run")
+    Term.(
+      const run_query $ qtext $ store $ viewer $ json $ explain $ stats_arg)
+
 let primitives_cmd =
   let bits =
     Arg.(value & opt int 1024 & info [ "bits" ] ~doc:"RSA modulus size.")
@@ -1333,6 +1446,7 @@ let () =
         engine_cmd;
         crashsoak_cmd;
         adversary_cmd;
+        query_cmd;
         check_cmd;
         topology_cmd;
         primitives_cmd;

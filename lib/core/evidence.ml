@@ -151,3 +151,35 @@ let rec describe t =
   | Own_vector_mismatch { bit_index; _ } ->
       Printf.sprintf
         "%s committed bit %d of its export vector inconsistently" who bit_index
+
+(* Canonical evidence-kind tags: the queryable vocabulary of the audit
+   plane.  A [Timeout] reports the omission it substantiates — the query
+   layer cares about what was withheld, not that silence proved it. *)
+let rec kind = function
+  | Equivocation _ -> "equivocation"
+  | False_bit _ -> "false-bit"
+  | Non_monotonic_bits _ -> "non-monotonic-bits"
+  | Nonminimal_export _ -> "nonminimal-export"
+  | Unsupported_export _ -> "unsupported-export"
+  | Bad_provenance _ -> "bad-provenance"
+  | Missing_export_claim _ -> "missing-export"
+  | Missing_disclosure_claim _ -> "missing-disclosure"
+  | Graph_violation _ -> "graph-violation"
+  | Cross_shorter_export _ -> "cross-shorter-export"
+  | Own_vector_mismatch _ -> "own-vector-mismatch"
+  | Timeout { claim; _ } -> kind claim
+
+let all_kinds =
+  [
+    "equivocation";
+    "false-bit";
+    "non-monotonic-bits";
+    "nonminimal-export";
+    "unsupported-export";
+    "bad-provenance";
+    "missing-export";
+    "missing-disclosure";
+    "graph-violation";
+    "cross-shorter-export";
+    "own-vector-mismatch";
+  ]

@@ -140,3 +140,12 @@ val accused : t -> Bgp.Asn.t
 (** The AS the evidence incriminates (always the commit/export signer). *)
 
 val describe : t -> string
+
+val kind : t -> string
+(** Canonical kebab-case tag of the violation class (a [Timeout] reports
+    the omission claim it substantiates).  Always a member of
+    {!all_kinds} — the vocabulary the evidence-plane query language's
+    [kind] field is validated against. *)
+
+val all_kinds : string list
+(** Every tag {!kind} can produce, deduplicated, in declaration order. *)

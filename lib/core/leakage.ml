@@ -155,6 +155,7 @@ type audit = {
 let obs_audits = Pvr_obs.counter "leakage.audits"
 let obs_bits_disclosed = Pvr_obs.counter "leakage.bits.disclosed"
 let obs_bits_excess = Pvr_obs.counter "leakage.bits.excess"
+let obs_refusals = Pvr_obs.counter "leakage.refusals"
 
 let audit ~viewer ?(authorized = fun _ -> false) ~baseline ~observed () =
   Pvr_obs.incr obs_audits;
@@ -201,9 +202,10 @@ module Ledger = struct
   type ledger = {
     mutable facts : (Bgp.Asn.t * fact) list; (* reverse arrival order *)
     mutable opaque : int;
+    mutable refused : (Bgp.Asn.t * int) list; (* per-viewer refusal tally *)
   }
 
-  let create () = { facts = []; opaque = 0 }
+  let create () = { facts = []; opaque = 0; refused = [] }
 
   let record l ~viewer fact =
     if not (List.mem (viewer, fact) l.facts) then begin
@@ -213,6 +215,23 @@ module Ledger = struct
 
   let record_opaque l ~viewer:_ = l.opaque <- l.opaque + 1
   let opaque_count l = l.opaque
+
+  (* α said no: the item was withheld, but the *attempt* is part of the
+     audit trail — refusals are how the disclosure ledger proves the
+     access-control map was actually enforced, not just declared. *)
+  let record_refusal l ~viewer =
+    Pvr_obs.incr obs_refusals;
+    let n = match List.assoc_opt viewer l.refused with
+      | Some n -> n
+      | None -> 0
+    in
+    l.refused <- (viewer, n + 1) :: List.remove_assoc viewer l.refused
+
+  let refusal_count l =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 l.refused
+
+  let refusals l =
+    List.sort (fun (a, _) (b, _) -> Bgp.Asn.compare a b) l.refused
 
   let view l ~viewer =
     List.rev

@@ -140,6 +140,19 @@ module Ledger : sig
   (** A hiding commitment changed hands: observed traffic, zero bits. *)
 
   val opaque_count : ledger -> int
+
+  val record_refusal : ledger -> viewer:Bgp.Asn.t -> unit
+  (** Account an α-refused disclosure attempt: [viewer] asked for (or a
+      query tried to show it) something {!alpha_authorizes} rejects.
+      Nothing was revealed, but enforcement is auditable — increments
+      ["leakage.refusals"] and the per-viewer tally. *)
+
+  val refusal_count : ledger -> int
+  (** Total refusals across all viewers. *)
+
+  val refusals : ledger -> (Bgp.Asn.t * int) list
+  (** Per-viewer refusal tallies, sorted by ASN. *)
+
   val view : ledger -> viewer:Bgp.Asn.t -> view
   val viewers : ledger -> Bgp.Asn.t list
 end

@@ -13,6 +13,7 @@ type outcome = {
   vx_detected : bool;
   vx_convicted : bool;
   vx_evidence : int;
+  vx_kinds : string list;
   vx_leaked_bits : int;
   vx_excess_bits : int;
   vx_net : Pvr.Runner.net_report option;
@@ -399,6 +400,7 @@ let fast_round keyring ~max_path_len ~wire_epoch vc (sn : snapshot) =
     vx_detected = detected;
     vx_convicted = convicted;
     vx_evidence = List.length raised;
+    vx_kinds = List.sort_uniq String.compare (List.map Pvr.Evidence.kind raised);
     vx_leaked_bits = 0;
     vx_excess_bits = 0;
     vx_net = None;
@@ -527,6 +529,9 @@ let faulty_round keyring ~max_path_len ~wire_epoch ~secret ~plan ~faults
     vx_detected = base.Pvr.Runner.detected;
     vx_convicted = base.Pvr.Runner.convicted;
     vx_evidence = List.length base.Pvr.Runner.raised;
+    vx_kinds =
+      List.sort_uniq String.compare
+        (List.map (fun (_, e) -> Pvr.Evidence.kind e) base.Pvr.Runner.raised);
     vx_leaked_bits = leaked;
     vx_excess_bits = excess;
     vx_net = Some nr;
@@ -763,10 +768,11 @@ module Checkpoint = struct
     ck_states : int;
   }
 
-  (* v2: adds per-vertex behaviour and leaked/excess bit counts.  Older
+  (* v3: adds per-vertex evidence-kind tags (the query plane's violation
+     classes).  v2 added behaviour and leaked/excess bit counts.  Older
      blobs are refused (resume falls back to full recomputation, which the
      determinism contract makes harmless). *)
-  let ck_version = 2
+  let ck_version = 3
   let run_id t = C.Sha256.digest_hex ("pvr-engine-run-id|" ^ t.secret)
 
   type state_record = {
@@ -782,6 +788,7 @@ module Checkpoint = struct
     sr_detected : bool;
     sr_convicted : bool;
     sr_evidence : int;
+    sr_kinds : string list;
     sr_leaked : int;
     sr_excess : int;
     sr_line : string;
@@ -815,6 +822,8 @@ module Checkpoint = struct
         Codec.bool_ buf o.vx_detected;
         Codec.bool_ buf o.vx_convicted;
         Codec.u32 buf o.vx_evidence;
+        Codec.u32 buf (List.length o.vx_kinds);
+        List.iter (fun k -> Codec.str buf k) o.vx_kinds;
         Codec.u32 buf o.vx_leaked_bits;
         Codec.u32 buf o.vx_excess_bits;
         Codec.str buf o.vx_line)
@@ -847,6 +856,8 @@ module Checkpoint = struct
               let sr_detected = Codec.get_bool r in
               let sr_convicted = Codec.get_bool r in
               let sr_evidence = Codec.get_u32 r in
+              let nk = Codec.get_u32 r in
+              let sr_kinds = List.init nk (fun _ -> Codec.get_str r) in
               let sr_leaked = Codec.get_u32 r in
               let sr_excess = Codec.get_u32 r in
               let sr_line = Codec.get_str r in
@@ -863,6 +874,7 @@ module Checkpoint = struct
                 sr_detected;
                 sr_convicted;
                 sr_evidence;
+                sr_kinds;
                 sr_leaked;
                 sr_excess;
                 sr_line;
@@ -906,6 +918,7 @@ module Checkpoint = struct
           vx_detected = sr.sr_detected;
           vx_convicted = sr.sr_convicted;
           vx_evidence = sr.sr_evidence;
+          vx_kinds = sr.sr_kinds;
           vx_leaked_bits = sr.sr_leaked;
           vx_excess_bits = sr.sr_excess;
           vx_net = None;

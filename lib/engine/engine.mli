@@ -51,6 +51,12 @@ type outcome = {
   vx_detected : bool;
   vx_convicted : bool;
   vx_evidence : int;
+  vx_kinds : string list;
+      (** sorted, deduplicated {!Pvr.Evidence.kind} tags of the evidence
+          raised this round — the queryable violation classes; [[]] when
+          nothing was raised.  Persisted in checkpoints and evidence-row
+          journal frames, never part of [vx_line] (digests are
+          unchanged). *)
   vx_leaked_bits : int;
       (** total bits disclosed across all parties (and the court) per the
           {!Pvr.Leakage} accounting convention; [0] on the fast path *)

@@ -1,7 +1,10 @@
 module Store = Pvr_store.Store
-module Codec = Pvr_store.Codec
+module Bgp = Pvr_bgp
+module Frame = Pvr_query.Frame
+module Row = Pvr_query.Row
+module Evidence_index = Pvr_query.Evidence_index
 
-type epoch_record = {
+type epoch_record = Frame.epoch_record = {
   er_epoch : int;
   er_period : int;
   er_changes : int;
@@ -16,67 +19,68 @@ type epoch_record = {
   er_run_id : string;
 }
 
-let er_version = 1
+let encode_epoch = Frame.encode_epoch
+let decode_epoch = Frame.decode_epoch
 
-let encode_epoch r =
-  let buf = Buffer.create 256 in
-  Codec.u32 buf er_version;
-  Codec.u32 buf r.er_epoch;
-  Codec.u32 buf r.er_period;
-  Codec.u32 buf r.er_changes;
-  Codec.u32 buf r.er_msgs;
-  Codec.u32 buf r.er_vertices;
-  Codec.u32 buf r.er_dirty;
-  Codec.u32 buf r.er_skipped;
-  Codec.u32 buf r.er_detected;
-  Codec.u32 buf r.er_convicted;
-  Codec.str buf r.er_digest;
-  Codec.str buf r.er_rib;
-  Codec.str buf r.er_run_id;
-  Buffer.contents buf
-
-let decode_epoch payload =
-  Codec.decode payload (fun r ->
-      let v = Codec.get_u32 r in
-      if v <> er_version then
-        raise
-          (Codec.Malformed ("unsupported journal version " ^ string_of_int v));
-      let er_epoch = Codec.get_u32 r in
-      let er_period = Codec.get_u32 r in
-      let er_changes = Codec.get_u32 r in
-      let er_msgs = Codec.get_u32 r in
-      let er_vertices = Codec.get_u32 r in
-      let er_dirty = Codec.get_u32 r in
-      let er_skipped = Codec.get_u32 r in
-      let er_detected = Codec.get_u32 r in
-      let er_convicted = Codec.get_u32 r in
-      let er_digest = Codec.get_str r in
-      let er_rib = Codec.get_str r in
-      let er_run_id = Codec.get_str r in
-      {
-        er_epoch;
-        er_period;
-        er_changes;
-        er_msgs;
-        er_vertices;
-        er_dirty;
-        er_skipped;
-        er_detected;
-        er_convicted;
-        er_digest;
-        er_rib;
-        er_run_id;
-      })
-
-type session = { store : Store.t; snapshot_every : int }
+type session = {
+  store : Store.t;
+  snapshot_every : int;
+  dir : string;
+  mutable index : Evidence_index.t option;
+      (* live mirror of the journaled evidence plane; rebuilt from the
+         store on the first record after a resume *)
+}
 
 let start ?(fsync = true) ?(snapshot_every = 1) ~dir () =
-  { store = Store.open_ ~fsync ~dir (); snapshot_every }
+  { store = Store.open_ ~fsync ~dir (); snapshot_every; dir; index = None }
+
+let row_of_outcome ~epoch (o : Engine.outcome) =
+  {
+    Row.r_epoch = epoch;
+    r_prover = Bgp.Asn.to_int o.Engine.vx_vertex.Engine.vprover;
+    r_addr = o.Engine.vx_vertex.Engine.vprefix.Bgp.Prefix.addr;
+    r_len = o.Engine.vx_vertex.Engine.vprefix.Bgp.Prefix.len;
+    r_beneficiary = Bgp.Asn.to_int o.Engine.vx_beneficiary;
+    r_providers = List.map Bgp.Asn.to_int o.Engine.vx_providers;
+    r_behaviour = Pvr.Adversary.to_string o.Engine.vx_behaviour;
+    r_detected = o.Engine.vx_detected;
+    r_convicted = o.Engine.vx_convicted;
+    r_evidence = o.Engine.vx_evidence;
+    r_kinds = o.Engine.vx_kinds;
+    r_leaked = o.Engine.vx_leaked_bits;
+    r_excess = o.Engine.vx_excess_bits;
+  }
+
+(* The session's live index must cover every epoch of the run, so after a
+   resume (index = None, engine past epoch 1) it is rematerialized from
+   the journal before this epoch's frames are appended. *)
+let live_index s ~run_id ~epoch =
+  match s.index with
+  | Some idx -> idx
+  | None ->
+      let idx =
+        if epoch = 1 then Evidence_index.create ~run_id ()
+        else
+          match Evidence_index.build ~quiet:true ~dir:s.dir () with
+          | Ok idx when Evidence_index.run_id idx = run_id -> idx
+          | Ok _ | Error _ -> Evidence_index.create ~run_id ()
+      in
+      s.index <- Some idx;
+      idx
 
 let record s eng (r : Engine.epoch_report) =
+  let run_id = Engine.Checkpoint.run_id eng in
+  let epoch = r.Engine.ep_epoch in
+  let idx = live_index s ~run_id ~epoch in
+  let rows = List.map (row_of_outcome ~epoch) r.Engine.ep_outcomes in
+  (* Rows first, then the epoch record: the epoch record is the commit
+     mark, so a crash between the two leaves an ignorable orphan. *)
+  Store.append s.store
+    (Frame.encode_rows
+       { Frame.rf_run_id = run_id; rf_epoch = epoch; rf_rows = rows });
   let er =
     {
-      er_epoch = r.Engine.ep_epoch;
+      er_epoch = epoch;
       er_period = r.Engine.ep_period;
       er_changes = r.Engine.ep_changes;
       er_msgs = r.Engine.ep_msgs;
@@ -87,13 +91,25 @@ let record s eng (r : Engine.epoch_report) =
       er_convicted = r.Engine.ep_convicted;
       er_digest = r.Engine.ep_digest;
       er_rib = Engine.rib_digest eng;
-      er_run_id = Engine.Checkpoint.run_id eng;
+      er_run_id = run_id;
     }
   in
   Store.append s.store (encode_epoch er);
-  if s.snapshot_every > 0 && r.Engine.ep_epoch mod s.snapshot_every = 0 then
-    Store.write_snapshot s.store ~epoch:r.Engine.ep_epoch
-      (Engine.Checkpoint.save eng)
+  if Evidence_index.max_epoch idx < epoch then
+    Evidence_index.add_epoch idx ~epoch rows;
+  if s.snapshot_every > 0 && epoch mod s.snapshot_every = 0 then begin
+    (* Only checkpoint an index that covers every epoch of the run —
+       a gap would make the builder silently lose the missing epochs. *)
+    if Evidence_index.epoch_count idx = epoch then
+      Store.append s.store
+        (Frame.encode_index
+           {
+             Frame.if_run_id = run_id;
+             if_epoch = epoch;
+             if_blob = Evidence_index.save idx;
+           });
+    Store.write_snapshot s.store ~epoch (Engine.Checkpoint.save eng)
+  end
 
 let close s = Store.close s.store
 
@@ -111,16 +127,19 @@ let fresh ~dropped ~replayed =
 let resume ?(quiet = false) ~dir ~engine ~apply () =
   let rc = Store.recover ~quiet ~dir () in
   let run_id = Engine.Checkpoint.run_id engine in
-  (* Journal frames: keep decodable ones that belong to this run; a frame
-     that fails either test counts as corrupt but does not invalidate the
-     frames before it. *)
+  (* Journal frames: keep decodable epoch records that belong to this run.
+     Rows/index frames of this run are the evidence plane — not resume
+     inputs, and not corruption either; foreign or undecodable frames
+     count as dropped but do not invalidate the frames before them. *)
   let decode_dropped = ref 0 in
   let foreign = ref false in
   let frames =
     List.filter_map
       (fun payload ->
-        match decode_epoch payload with
-        | Ok er when er.er_run_id = run_id -> Some er
+        match Frame.decode payload with
+        | Ok (Frame.Epoch er) when er.er_run_id = run_id -> Some er
+        | Ok (Frame.Rows rf) when rf.Frame.rf_run_id = run_id -> None
+        | Ok (Frame.Index f) when f.Frame.if_run_id = run_id -> None
         | Ok _ ->
             foreign := true;
             incr decode_dropped;

@@ -1,10 +1,14 @@
 (** Durable engine sessions: glue between {!Engine} and {!Pvr_store.Store}.
 
-    A persisted run appends one journal frame per completed epoch (epoch
-    number, salt period, batch size, convergence messages, vertex/outcome
-    tallies, the post-epoch hash-chain digest, the simulator RIB digest
-    and the run id) and every [snapshot_every] epochs atomically rewrites
-    a full {!Engine.Checkpoint} snapshot.  The journal frame is written
+    A persisted run appends two journal frames per completed epoch — an
+    evidence-rows frame ({!Pvr_query.Frame}, one {!Pvr_query.Row.t} per
+    live vertex) followed by the epoch summary record (epoch number, salt
+    period, batch size, convergence messages, vertex/outcome tallies, the
+    post-epoch hash-chain digest, the simulator RIB digest and the run
+    id).  The epoch record is the commit mark for the rows before it.
+    Every [snapshot_every] epochs the session also appends an
+    {!Pvr_query.Evidence_index} checkpoint frame and atomically rewrites
+    a full {!Engine.Checkpoint} snapshot.  Journal frames are written
     {e before} the snapshot, so the WAL invariant holds: anything a
     snapshot claims is also in the journal.
 
@@ -19,7 +23,7 @@
 
 module Store = Pvr_store.Store
 
-type epoch_record = {
+type epoch_record = Pvr_query.Frame.epoch_record = {
   er_epoch : int;
   er_period : int;
   er_changes : int;

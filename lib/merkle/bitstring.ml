@@ -17,6 +17,11 @@ let of_bools bits =
 
 let to_bools t = List.init (String.length t) (fun i -> t.[i] = '1')
 
+let of_int_bits v ~len =
+  if len < 0 || len > 32 then invalid_arg "Bitstring.of_int_bits";
+  String.init len (fun i ->
+      if (v lsr (31 - i)) land 1 = 1 then '1' else '0')
+
 let of_string s =
   String.iter
     (fun c ->

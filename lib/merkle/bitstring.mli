@@ -22,6 +22,12 @@ val append_bit : t -> bool -> t
 val of_bools : bool list -> t
 val to_bools : t -> bool list
 
+val of_int_bits : int -> len:int -> t
+(** The first [len] bits of a 32-bit integer, most-significant first —
+    the natural bit path of an IPv4 CIDR prefix (addr, len), under which
+    prefix containment is exactly {!is_prefix}.
+    @raise Invalid_argument unless [0 <= len <= 32]. *)
+
 val of_string : string -> t
 (** Parse a string of ['0']/['1'] characters. @raise Invalid_argument. *)
 

@@ -1,0 +1,63 @@
+(** Tagged journal payloads of the engine's evidence plane.
+
+    Every payload {!Pvr_engine.Persist} appends to the {!Pvr_store.Store}
+    journal starts with a u32 tag.  Tag [1] is the per-epoch summary
+    record and predates this module — its tag doubled as the record
+    version field, so v1 stores decode unchanged.  This module owns the
+    full tag space so the query plane (which has no engine dependency)
+    and the engine (which appends) cannot skew:
+
+    - tag [1] — epoch summary (digest chain, RIB digest, tallies);
+      journaled {e after} the epoch's rows frame, so it is the commit
+      record: rows without a following epoch record for the same epoch
+      are an uncommitted orphan.
+    - tag [2] — evidence rows ({!Row.t} list) for one epoch.
+    - tag [3] — an {!Evidence_index} checkpoint: the serialized index
+      covering every committed epoch up to [if_epoch].  Purely an
+      accelerator; the builder falls back to scanning rows frames when
+      absent or stale. *)
+
+type epoch_record = {
+  er_epoch : int;
+  er_period : int;
+  er_changes : int;
+  er_msgs : int;
+  er_vertices : int;
+  er_dirty : int;
+  er_skipped : int;
+  er_detected : int;
+  er_convicted : int;
+  er_digest : string;  (** hash chain after this epoch *)
+  er_rib : string;  (** simulator RIB digest after this epoch *)
+  er_run_id : string;
+}
+
+type rows_frame = { rf_run_id : string; rf_epoch : int; rf_rows : Row.t list }
+type index_frame = { if_run_id : string; if_epoch : int; if_blob : string }
+
+type record =
+  | Epoch of epoch_record
+  | Rows of rows_frame
+  | Index of index_frame
+
+val tag_epoch : int
+val tag_rows : int
+val tag_index : int
+
+val tag : string -> int option
+(** The leading u32 of a payload, if it has one. *)
+
+val encode_epoch : epoch_record -> string
+val decode_epoch : string -> (epoch_record, string) result
+(** Tag-1 payloads only; rows/index payloads are an [Error], which is how
+    pre-query-plane readers (crashsoak's frame audit) skip them. *)
+
+val encode_rows : rows_frame -> string
+val encode_index : index_frame -> string
+
+val decode : string -> (record, string) result
+(** Decode any tagged payload. *)
+
+val peek_header : string -> (int * string * int) option
+(** [(tag, run_id, epoch)] of a rows/index payload without decoding row
+    bodies; [None] for epoch records and malformed payloads. *)

@@ -1,0 +1,464 @@
+module Bgp = Pvr_bgp
+
+type source = Violations | Convictions | Rows
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+type int_field = F_epoch | F_evidence | F_leaked | F_excess
+type asn_field = F_prover | F_beneficiary
+type bool_field = F_detected | F_convicted
+
+type expr =
+  | True
+  | Int_cmp of int_field * cmp * int
+  | Asn_cmp of asn_field * bool * int (* true = equals, false = differs *)
+  | Prefix_eq of Bgp.Prefix.t
+  | Prefix_in of Bgp.Prefix.t
+  | Behaviour_is of bool * string
+  | Kind_has of bool * string
+  | Bool_is of bool_field * bool
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type order_key =
+  | By_epoch
+  | By_prover
+  | By_beneficiary
+  | By_prefix
+  | By_evidence
+  | By_leaked
+  | By_excess
+
+type t = {
+  q_source : source;
+  q_where : expr;
+  q_order : (order_key * bool) option; (* true = ascending *)
+  q_limit : int option;
+}
+
+type error = { pos : int; msg : string }
+
+let render_error ~query e =
+  Printf.sprintf "%s\n%s^ %s" query (String.make e.pos ' ') e.msg
+
+(* ---- lexer ------------------------------------------------------------ *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tprefix of string
+  | Tlparen
+  | Trparen
+  | Top of string
+  | Teof
+
+exception Fail of error
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Fail { pos; msg })) fmt
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok pos = toks := (tok, pos) :: !toks in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  let is_ident c = is_alpha c || is_digit c || c = '_' || c = '-' in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = src.[start] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then (
+      emit Tlparen start;
+      incr i)
+    else if c = ')' then (
+      emit Trparen start;
+      incr i)
+    else if c = '<' || c = '>' then (
+      if start + 1 < n && src.[start + 1] = '=' then (
+        emit (Top (String.init 2 (fun k -> if k = 0 then c else '='))) start;
+        i := start + 2)
+      else (
+        emit (Top (String.make 1 c)) start;
+        incr i))
+    else if c = '=' then (
+      emit (Top "=") start;
+      incr i)
+    else if c = '!' then
+      if start + 1 < n && src.[start + 1] = '=' then (
+        emit (Top "!=") start;
+        i := start + 2)
+      else fail start "expected '=' after '!'"
+    else if is_digit c then begin
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = '/')
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      if String.contains text '.' || String.contains text '/' then
+        emit (Tprefix text) start
+      else
+        match int_of_string_opt text with
+        | Some v -> emit (Tint v) start
+        | None -> fail start "number out of range"
+    end
+    else if is_alpha c || c = '_' then begin
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      emit (Tident (String.lowercase_ascii (String.sub src start (!i - start)))) start
+    end
+    else fail start "unexpected character %C" c
+  done;
+  emit Teof n;
+  Array.of_list (List.rev !toks)
+
+(* ---- parser ----------------------------------------------------------- *)
+
+type state = { toks : (token * int) array; mutable at : int }
+
+let peek s = s.toks.(s.at)
+let advance s = s.at <- s.at + 1
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let describe = function
+  | Tident w -> Printf.sprintf "'%s'" w
+  | Tint v -> string_of_int v
+  | Tprefix p -> Printf.sprintf "'%s'" p
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Top o -> Printf.sprintf "'%s'" o
+  | Teof -> "end of query"
+
+let keyword s w =
+  match peek s with
+  | Tident k, _ when k = w ->
+      advance s;
+      true
+  | _ -> false
+
+let expect_keyword s w =
+  if not (keyword s w) then
+    let t, pos = peek s in
+    fail pos "expected '%s', found %s" w (describe t)
+
+let behaviours = List.map Pvr.Adversary.to_string Pvr.Adversary.all
+
+let int_field_of_string = function
+  | "epoch" -> Some F_epoch
+  | "evidence" -> Some F_evidence
+  | "leaked" | "leaked_bits" -> Some F_leaked
+  | "excess" | "excess_bits" -> Some F_excess
+  | _ -> None
+
+let cmp_of_op = function
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | "=" -> Eq
+  | "!=" -> Ne
+  | o -> invalid_arg o
+
+let parse_op s =
+  match next s with
+  | Top o, _ -> cmp_of_op o
+  | t, pos -> fail pos "expected a comparison operator, found %s" (describe t)
+
+let parse_eq_op s field =
+  match parse_op s with
+  | Eq -> true
+  | Ne -> false
+  | _ ->
+      let _, pos = s.toks.(s.at - 1) in
+      fail pos "'%s' supports only = and !=" field
+
+let parse_int s =
+  match next s with
+  | Tint v, _ -> v
+  | t, pos -> fail pos "expected an integer, found %s" (describe t)
+
+let parse_asn s =
+  match next s with
+  | Tint v, _ -> v
+  | Tident w, pos when String.length w > 2 && String.sub w 0 2 = "as" -> (
+      match int_of_string_opt (String.sub w 2 (String.length w - 2)) with
+      | Some v when v >= 0 -> v
+      | _ -> fail pos "expected an ASN like 17 or AS17")
+  | t, pos -> fail pos "expected an ASN like 17 or AS17, found %s" (describe t)
+
+let parse_prefix s =
+  match next s with
+  | Tprefix text, pos -> (
+      match Bgp.Prefix.of_string text with
+      | p -> p
+      | exception _ -> fail pos "malformed prefix '%s'" text)
+  | t, pos -> fail pos "expected a prefix like 10.0.0.0/8, found %s" (describe t)
+
+let parse_name s ~field ~known =
+  match next s with
+  | Tident w, pos ->
+      if List.mem w known then w
+      else fail pos "unknown %s '%s' (one of: %s)" field w (String.concat ", " known)
+  | t, pos -> fail pos "expected a %s name, found %s" field (describe t)
+
+let parse_bool_value s =
+  match next s with
+  | Tident "true", _ -> true
+  | Tident "false", _ -> false
+  | t, pos -> fail pos "expected true or false, found %s" (describe t)
+
+let rec parse_expr s = parse_or s
+
+and parse_or s =
+  let left = parse_and s in
+  if keyword s "or" then Or (left, parse_or s) else left
+
+and parse_and s =
+  let left = parse_unary s in
+  if keyword s "and" then And (left, parse_and s) else left
+
+and parse_unary s =
+  match peek s with
+  | Tident "not", _ ->
+      advance s;
+      Not (parse_unary s)
+  | Tlparen, _ ->
+      advance s;
+      let e = parse_expr s in
+      (match next s with
+      | Trparen, _ -> e
+      | t, pos -> fail pos "expected ')', found %s" (describe t))
+  | _ -> parse_atom s
+
+and parse_atom s =
+  match next s with
+  | Tident name, pos -> (
+      match int_field_of_string name with
+      | Some f ->
+          (* bind in source order: OCaml argument evaluation is
+             right-to-left, which would lex the value before the operator *)
+          let op = parse_op s in
+          let v = parse_int s in
+          Int_cmp (f, op, v)
+      | None -> (
+          match name with
+          | "prover" ->
+              let eq = parse_eq_op s name in
+              Asn_cmp (F_prover, eq, parse_asn s)
+          | "beneficiary" ->
+              let eq = parse_eq_op s name in
+              Asn_cmp (F_beneficiary, eq, parse_asn s)
+          | "prefix" -> (
+              match next s with
+              | Top "=", _ -> Prefix_eq (parse_prefix s)
+              | Tident "in", _ -> Prefix_in (parse_prefix s)
+              | t, p -> fail p "expected = or 'in' after prefix, found %s" (describe t))
+          | "behaviour" | "behavior" ->
+              let eq = parse_eq_op s "behaviour" in
+              Behaviour_is
+                (eq, parse_name s ~field:"behaviour" ~known:behaviours)
+          | "kind" ->
+              let eq = parse_eq_op s "kind" in
+              Kind_has
+                (eq, parse_name s ~field:"kind" ~known:Pvr.Evidence.all_kinds)
+          | "detected" | "convicted" ->
+              let f = if name = "detected" then F_detected else F_convicted in
+              (match peek s with
+              | Top ("=" | "!="), _ ->
+                  let eq = parse_eq_op s name in
+                  let v = parse_bool_value s in
+                  Bool_is (f, eq = v)
+              | _ -> Bool_is (f, true))
+          | _ -> fail pos "unknown field '%s'" name))
+  | t, pos -> fail pos "expected a condition, found %s" (describe t)
+
+let order_key_of_string = function
+  | "epoch" -> Some By_epoch
+  | "prover" -> Some By_prover
+  | "beneficiary" -> Some By_beneficiary
+  | "prefix" -> Some By_prefix
+  | "evidence" -> Some By_evidence
+  | "leaked" | "leaked_bits" -> Some By_leaked
+  | "excess" | "excess_bits" -> Some By_excess
+  | _ -> None
+
+let parse_query s =
+  let q_source =
+    match next s with
+    | Tident "violations", _ -> Violations
+    | Tident "convictions", _ -> Convictions
+    | Tident "rows", _ -> Rows
+    | t, pos ->
+        fail pos "expected violations, convictions or rows, found %s"
+          (describe t)
+  in
+  let q_where = if keyword s "where" then parse_expr s else True in
+  let q_order =
+    if keyword s "order" then begin
+      expect_keyword s "by";
+      let key =
+        match next s with
+        | Tident w, pos -> (
+            match order_key_of_string w with
+            | Some k -> k
+            | None -> fail pos "cannot order by '%s'" w)
+        | t, pos -> fail pos "expected an order key, found %s" (describe t)
+      in
+      let asc =
+        if keyword s "desc" then false
+        else (
+          ignore (keyword s "asc");
+          true)
+      in
+      Some (key, asc)
+    end
+    else None
+  in
+  let q_limit =
+    if keyword s "limit" then Some (parse_int s) else None
+  in
+  (match peek s with
+  | Teof, _ -> ()
+  | t, pos -> fail pos "trailing input: %s" (describe t));
+  { q_source; q_where; q_order; q_limit }
+
+let parse src =
+  match
+    let s = { toks = lex src; at = 0 } in
+    parse_query s
+  with
+  | q -> Ok q
+  | exception Fail e -> Error e
+
+(* ---- canonical rendering --------------------------------------------- *)
+
+let cmp_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+
+let int_field_to_string = function
+  | F_epoch -> "epoch"
+  | F_evidence -> "evidence"
+  | F_leaked -> "leaked"
+  | F_excess -> "excess"
+
+let asn_field_to_string = function
+  | F_prover -> "prover"
+  | F_beneficiary -> "beneficiary"
+
+let bool_field_to_string = function
+  | F_detected -> "detected"
+  | F_convicted -> "convicted"
+
+let rec expr_to_string = function
+  | True -> "true"
+  | Int_cmp (f, c, v) ->
+      Printf.sprintf "%s %s %d" (int_field_to_string f) (cmp_to_string c) v
+  | Asn_cmp (f, eq, v) ->
+      Printf.sprintf "%s %s AS%d" (asn_field_to_string f)
+        (if eq then "=" else "!=")
+        v
+  | Prefix_eq p -> Printf.sprintf "prefix = %s" (Bgp.Prefix.to_string p)
+  | Prefix_in p -> Printf.sprintf "prefix in %s" (Bgp.Prefix.to_string p)
+  | Behaviour_is (eq, b) ->
+      Printf.sprintf "behaviour %s %s" (if eq then "=" else "!=") b
+  | Kind_has (eq, k) ->
+      Printf.sprintf "kind %s %s" (if eq then "=" else "!=") k
+  | Bool_is (f, v) ->
+      Printf.sprintf "%s = %b" (bool_field_to_string f) v
+  | And (a, b) ->
+      Printf.sprintf "(%s and %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) ->
+      Printf.sprintf "(%s or %s)" (expr_to_string a) (expr_to_string b)
+  | Not e -> Printf.sprintf "(not %s)" (expr_to_string e)
+
+let source_to_string = function
+  | Violations -> "violations"
+  | Convictions -> "convictions"
+  | Rows -> "rows"
+
+let order_key_to_string = function
+  | By_epoch -> "epoch"
+  | By_prover -> "prover"
+  | By_beneficiary -> "beneficiary"
+  | By_prefix -> "prefix"
+  | By_evidence -> "evidence"
+  | By_leaked -> "leaked"
+  | By_excess -> "excess"
+
+let to_string q =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (source_to_string q.q_source);
+  (match q.q_where with
+  | True -> ()
+  | e ->
+      Buffer.add_string buf " where ";
+      Buffer.add_string buf (expr_to_string e));
+  (match q.q_order with
+  | None -> ()
+  | Some (k, asc) ->
+      Buffer.add_string buf
+        (Printf.sprintf " order by %s %s" (order_key_to_string k)
+           (if asc then "asc" else "desc")));
+  (match q.q_limit with
+  | None -> ()
+  | Some n -> Buffer.add_string buf (Printf.sprintf " limit %d" n));
+  Buffer.contents buf
+
+(* ---- evaluation ------------------------------------------------------- *)
+
+let int_field_value f (r : Row.t) =
+  match f with
+  | F_epoch -> r.Row.r_epoch
+  | F_evidence -> r.Row.r_evidence
+  | F_leaked -> r.Row.r_leaked
+  | F_excess -> r.Row.r_excess
+
+let asn_field_value f (r : Row.t) =
+  match f with
+  | F_prover -> r.Row.r_prover
+  | F_beneficiary -> r.Row.r_beneficiary
+
+let bool_field_value f (r : Row.t) =
+  match f with
+  | F_detected -> r.Row.r_detected
+  | F_convicted -> r.Row.r_convicted
+
+let apply_cmp c a b =
+  match c with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let rec eval e (r : Row.t) =
+  match e with
+  | True -> true
+  | Int_cmp (f, c, v) -> apply_cmp c (int_field_value f r) v
+  | Asn_cmp (f, eq, v) -> (asn_field_value f r = v) = eq
+  | Prefix_eq p -> r.Row.r_addr = p.Bgp.Prefix.addr && r.Row.r_len = p.Bgp.Prefix.len
+  | Prefix_in p -> Bgp.Prefix.contains p (Row.prefix r)
+  | Behaviour_is (eq, b) -> (r.Row.r_behaviour = b) = eq
+  | Kind_has (eq, k) -> List.mem k r.Row.r_kinds = eq
+  | Bool_is (f, v) -> bool_field_value f r = v
+  | And (a, b) -> eval a r && eval b r
+  | Or (a, b) -> eval a r || eval b r
+  | Not e -> not (eval e r)
+
+let source_admits src (r : Row.t) =
+  match src with
+  | Rows -> true
+  | Violations -> r.Row.r_detected
+  | Convictions -> r.Row.r_convicted
+
+let admits q r = source_admits q.q_source r && eval q.q_where r

@@ -109,6 +109,68 @@ type recovery = {
   rc_truncated_bytes : int;
 }
 
+type fold_end = { fe_next : int; fe_frames : int; fe_error : string option }
+
+(* Streaming frame walk: the journal is read in bounded chunks and only one
+   frame (plus read-ahead) is ever resident, so a multi-gigabyte journal
+   never materializes as a single string.  The walk stops at the first
+   invalid frame — same longest-valid-prefix contract as [recover], which
+   is built on top of this. *)
+let fold_frames ?(from = 0) ~dir ~init ~f () =
+  let clean = { fe_next = from; fe_frames = 0; fe_error = None } in
+  match In_channel.open_bin (journal_path ~dir) with
+  | exception Sys_error _ -> (init, clean)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () ->
+          In_channel.seek ic (Int64.of_int from);
+          let chunk = 1 lsl 16 in
+          let tmp = Bytes.create chunk in
+          let src = ref "" in
+          let start = ref 0 in
+          let eof = ref false in
+          let avail () = String.length !src - !start in
+          let refill need =
+            if avail () < need && not !eof then begin
+              let b = Buffer.create (max chunk need) in
+              Buffer.add_substring b !src !start (avail ());
+              while (not !eof) && Buffer.length b < need do
+                let n = In_channel.input ic tmp 0 chunk in
+                if n = 0 then eof := true else Buffer.add_subbytes b tmp 0 n
+              done;
+              src := Buffer.contents b;
+              start := 0
+            end
+          in
+          let acc = ref init in
+          let off = ref from in
+          let frames = ref 0 in
+          let stop = ref None in
+          let running = ref true in
+          while !running do
+            refill (header_len + 4);
+            if avail () = 0 then running := false
+            else begin
+              (* Read the declared length first so the refill below asks for
+                 exactly one frame; a bogus header falls through to
+                 [parse_frame], which names the reason. *)
+              (if avail () >= header_len then
+                 let len = BU.read_be32 !src (!start + 6) in
+                 if len <= max_payload then refill (header_len + len + 4));
+              match parse_frame ~magic:journal_magic !src !start with
+              | Ok (payload, next) ->
+                  acc := f !acc ~off:!off payload;
+                  incr frames;
+                  off := !off + (next - !start);
+                  start := next
+              | Error reason ->
+                  stop := Some reason;
+                  running := false
+            end
+          done;
+          (!acc, { fe_next = !off; fe_frames = !frames; fe_error = !stop }))
+
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | s -> Some s
@@ -130,32 +192,28 @@ let snapshot_epoch_of_name name =
 
 let recover ?(quiet = false) ~dir () =
   let dropped = ref 0 in
-  let frames = ref [] in
   let truncated = ref 0 in
   let jpath = journal_path ~dir in
-  (match read_file jpath with
+  let frames, fe =
+    fold_frames ~dir ~init:[]
+      ~f:(fun acc ~off:_ payload ->
+        Pvr_obs.incr c_replay_frames;
+        payload :: acc)
+      ()
+  in
+  (match fe.fe_error with
   | None -> ()
-  | Some src ->
-      let total = String.length src in
-      let off = ref 0 in
-      let stop = ref false in
-      while not !stop do
-        if !off >= total then stop := true
-        else
-          match parse_frame ~magic:journal_magic src !off with
-          | Ok (payload, next) ->
-              frames := payload :: !frames;
-              Pvr_obs.incr c_replay_frames;
-              off := next
-          | Error reason ->
-              incr dropped;
-              Pvr_obs.incr c_corrupt_dropped;
-              truncated := total - !off;
-              warn quiet
-                "journal %s: %s at offset %d; truncating %d byte(s)" jpath
-                reason !off !truncated;
-              stop := true
-      done;
+  | Some reason ->
+      let total =
+        match Unix.stat jpath with
+        | { Unix.st_size; _ } -> st_size
+        | exception Unix.Unix_error _ -> fe.fe_next
+      in
+      incr dropped;
+      Pvr_obs.incr c_corrupt_dropped;
+      truncated := total - fe.fe_next;
+      warn quiet "journal %s: %s at offset %d; truncating %d byte(s)" jpath
+        reason fe.fe_next !truncated;
       if !truncated > 0 then begin
         (* Truncate-and-warn: cut the torn/corrupt tail so the next append
            starts at a clean frame boundary. *)
@@ -165,8 +223,9 @@ let recover ?(quiet = false) ~dir () =
             Fun.protect
               ~finally:(fun () -> Unix.close fd)
               (fun () ->
-                try Unix.ftruncate fd !off with Unix.Unix_error _ -> ())
+                try Unix.ftruncate fd fe.fe_next with Unix.Unix_error _ -> ())
       end);
+  let frames = ref frames in
   let snapshots =
     (match Sys.readdir dir with
     | names -> Array.to_list names

@@ -53,6 +53,29 @@ type recovery = {
   rc_truncated_bytes : int;  (** journal bytes cut off the tail *)
 }
 
+type fold_end = {
+  fe_next : int;  (** offset just past the last valid frame *)
+  fe_frames : int;  (** frames delivered to [f] *)
+  fe_error : string option;
+      (** why the walk stopped before EOF ([None] = clean end) *)
+}
+
+val fold_frames :
+  ?from:int ->
+  dir:string ->
+  init:'a ->
+  f:('a -> off:int -> string -> 'a) ->
+  unit ->
+  'a * fold_end
+(** Stream the journal's valid frame prefix without ever materializing the
+    file as one string: frames are parsed out of bounded read-ahead chunks
+    and handed to [f] with the byte offset their header starts at.  The
+    walk begins at [from] (default 0, which must be a frame boundary) and
+    stops at EOF or at the first invalid frame, whose offset and reason
+    come back in [fold_end].  Never raises and never mutates the journal —
+    both {!recover} (which adds truncation) and the query-plane index
+    builder are built on it.  A missing journal is an empty, clean walk. *)
+
 val recover : ?quiet:bool -> dir:string -> unit -> recovery
 (** Read back everything valid in [dir]; truncate the journal to its
     valid prefix.  Never raises: unreadable files and mangled bytes

@@ -16,11 +16,12 @@ let suites =
     ("net", Test_net.suite);
     ("engine", Test_engine.suite);
     ("store", Test_store.suite);
+    ("query", Test_query.suite);
     ("scale", Test_scale.suite);
     ("adversary", Test_adversary.suite);
   ]
 
-let expected_tests = 413
+let expected_tests = 430
 
 let () =
   let total = List.fold_left (fun n (_, s) -> n + List.length s) 0 suites in

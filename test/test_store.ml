@@ -403,7 +403,23 @@ let resume_after_torn_journal () =
       Persist.close s1;
       let jp = S.journal_path ~dir in
       let full = read_file jp in
-      write_file jp (String.sub full 0 (String.length full - 5));
+      (* Tear the *epoch-4 record* specifically.  The journal also carries
+         rows and index-checkpoint frames after each epoch record, so a
+         blind tail truncation would only clip those; find the last
+         epoch-tagged frame and cut partway into it, leaving epoch 4's
+         rows frame behind as an uncommitted orphan. *)
+      let last_epoch_off = ref 0 in
+      let (), fe =
+        S.fold_frames ~dir ~init:()
+          ~f:(fun () ~off payload ->
+            match Pvr_query.Frame.tag payload with
+            | Some t when t = Pvr_query.Frame.tag_epoch -> last_epoch_off := off
+            | _ -> ())
+          ()
+      in
+      check_bool "clean walk before tearing" true (fe.S.fe_error = None);
+      check_bool "found an epoch frame to tear" true (!last_epoch_off > 0);
+      write_file jp (String.sub full 0 (!last_epoch_off + 5));
       Sys.remove (S.snapshot_path ~dir ~epoch:4);
       let eng2, apply2 = mk_world ~jobs:1 ~cache:true seed in
       match Persist.resume ~quiet:true ~dir ~engine:eng2 ~apply:apply2 () with
