@@ -1068,8 +1068,8 @@ let e13 () =
   (* Every run re-derives topology, churn and engine secret from fixed
      integer seeds: same [ases] means the same internet, so digests are
      comparable across jobs/shards/cache/intern settings. *)
-  let run ?(epochs = 4) ?(turnover = 0.2) ?on_epoch ~ases ~jobs ~shards
-      ~intern ~cache () =
+  let run ?(epochs = 4) ?(turnover = 0.2) ?(mem = 0) ?on_epoch ~ases ~jobs
+      ~shards ~intern ~cache () =
     G.Intern.set_enabled intern;
     let topo =
       G.Topology.generate (C.Drbg.of_int_seed (seed + 2)) ~ases ()
@@ -1088,6 +1088,10 @@ let e13 () =
         (C.Drbg.of_int_seed (seed + 4))
         ekeyring ~topology:topo ~sim ()
     in
+    if mem > 0 then begin
+      E.set_mem_ceiling eng mem;
+      E.set_pager eng (Some (E.memory_pager ()))
+    end;
     let dirty = ref 0 and msgs = ref 0 in
     for i = 1 to epochs do
       let apply sim =
@@ -1170,6 +1174,12 @@ let e13 () =
         fun () -> run ~ases:1000 ~jobs:2 ~shards:5 ~intern:false ~cache:true () );
       ( "jobs=1 cache=off",
         fun () -> run ~ases:1000 ~jobs:1 ~shards:0 ~intern:true ~cache:false () );
+      ( "jobs=2 mem-ceiling",
+        (* Bounded memory at scale: a tight governor ceiling with spilling
+           must not perturb the digest (E16 measures the footprint). *)
+        fun () ->
+          run ~mem:200_000 ~ases:1000 ~jobs:2 ~shards:5 ~intern:true
+            ~cache:true () );
     ]
   in
   let determinism =
@@ -1361,6 +1371,135 @@ let e14 () =
       ("ases", J.Int ases);
       ("epochs", J.Int epochs);
       ("strategies", J.List rows);
+    ]
+
+(* ---- E16: bounded memory: governor staging and spill-to-store ------------------- *)
+
+(* The memory-governor acceptance claim, measured: an unbounded run's peak
+   major heap sets the budget, then the same seeded run under a ceiling of
+   a quarter of that — spilling cold vertex state into a real WAL store —
+   must produce the byte-identical digest.  The [engine.mem.*] counters of
+   the bounded run land in BENCH_pvr.json so regressions in shedding
+   behaviour are visible across commits. *)
+let e16 () =
+  header "E16  bounded memory: governor, spill-to-store, digest parity";
+  let seed = 2040 in
+  let ases = 300 in
+  let epochs = 6 in
+  let ekeyring =
+    P.Keyring.create ~bits:512
+      (C.Drbg.of_int_seed (seed + 1))
+      (List.init ases (fun i -> asn (i + 1)))
+  in
+  (* One seeded engine run; [ceiling] > 0 installs the governor with a
+     store-backed pager.  Returns (digest, peak major-heap words above the
+     pre-run compacted floor). *)
+  let run ?(ceiling = 0) () =
+    Gc.compact ();
+    let floor_words = (Gc.quick_stat ()).Gc.heap_words in
+    let topo = G.Topology.generate (C.Drbg.of_int_seed (seed + 2)) ~ases () in
+    let origins = List.init 4 (fun i -> asn (ases - i)) in
+    let sim = G.Simulator.create topo in
+    G.Simulator.set_log_enabled sim false;
+    let churn =
+      G.Update_gen.Churn.create ~anycast:1 ~origins ~prefixes_per_origin:4 ()
+    in
+    let churn_rng = C.Drbg.of_int_seed (seed + 3) in
+    let eng =
+      E.create ~jobs:1 ~shards:0 ~cache:true ~salt_every:8
+        (C.Drbg.of_int_seed (seed + 4))
+        ekeyring ~topology:topo ~sim ()
+    in
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pvr-bench-e16-%d" (Unix.getpid ()))
+    in
+    let session =
+      if ceiling > 0 then begin
+        Pvr_store.Store.reset ~dir;
+        let s = Pvr_engine.Persist.start ~fsync:false ~snapshot_every:0 ~dir () in
+        E.set_mem_ceiling eng ceiling;
+        E.set_pager eng
+          (Some (Pvr_engine.Persist.pager s ~run_id:(E.Checkpoint.run_id eng)));
+        Some s
+      end
+      else None
+    in
+    let peak = ref 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Pvr_engine.Persist.close session;
+        if session <> None then
+          try
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat dir f))
+              (Sys.readdir dir);
+            Unix.rmdir dir
+          with Sys_error _ | Unix.Unix_error _ -> ())
+      (fun () ->
+        for i = 1 to epochs do
+          let apply sim =
+            if i = 1 then G.Update_gen.Churn.seed_count churn sim
+            else
+              G.Update_gen.Churn.step_count churn_rng ~turnover:0.2 churn sim
+          in
+          ignore (E.epoch ~apply eng : E.epoch_report);
+          peak := max !peak ((Gc.quick_stat ()).Gc.heap_words - floor_words)
+        done);
+    (E.digest eng, !peak)
+  in
+  let t0 = Unix.gettimeofday () in
+  let base_digest, unbounded_peak = run () in
+  let unbounded_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let ceiling = max 1 (unbounded_peak / 4) in
+  Printf.printf
+    "unbounded: peak %d heap words (%.1f ms); ceiling for bounded run: %d\n%!"
+    unbounded_peak unbounded_ms ceiling;
+  let before = Obs.Snapshot.capture () in
+  let t0 = Unix.gettimeofday () in
+  let bounded_digest, bounded_peak = run ~ceiling () in
+  let bounded_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let d = Obs.Snapshot.diff ~before ~after:(Obs.Snapshot.capture ()) in
+  let mem name = Obs.Snapshot.counter_value d ("engine.mem." ^ name) in
+  Printf.printf
+    "bounded:   peak %d heap words (%.1f ms) — cache_drops=%d spills=%d \
+     unspills=%d page_reads=%d throttles=%d\n%!"
+    bounded_peak bounded_ms (mem "cache_drops") (mem "spills") (mem "unspills")
+    (mem "page_reads") (mem "throttles");
+  Printf.printf "digest %s under a 4x-tighter heap: %s\n%!"
+    (if bounded_digest = base_digest then "identical" else "MISMATCH")
+    base_digest;
+  (* The acceptance claims: shedding engaged, and it cost nothing in
+     correctness — the digest is byte-identical under the quartered
+     ceiling. *)
+  assert (bounded_digest = base_digest);
+  assert (mem "spills" > 0);
+  J.Obj
+    [
+      ("ases", J.Int ases);
+      ("epochs", J.Int epochs);
+      ("digest", J.String base_digest);
+      ("digest_matches", J.Bool (bounded_digest = base_digest));
+      ( "unbounded",
+        J.Obj
+          [
+            ("peak_heap_words", J.Int unbounded_peak);
+            ("ms_per_run", J.Float unbounded_ms);
+          ] );
+      ( "bounded",
+        J.Obj
+          [
+            ("mem_ceiling_words", J.Int ceiling);
+            ("peak_heap_words", J.Int bounded_peak);
+            ("ms_per_run", J.Float bounded_ms);
+            ("cache_drops", J.Int (mem "cache_drops"));
+            ("spills", J.Int (mem "spills"));
+            ("unspills", J.Int (mem "unspills"));
+            ("page_reads", J.Int (mem "page_reads"));
+            ("page_read_failures", J.Int (mem "page_read_failures"));
+            ("throttles", J.Int (mem "throttles"));
+          ] );
     ]
 
 (* ---- E15: audit queries over the evidence plane --------------------------------- *)
@@ -1661,6 +1800,7 @@ let () =
       ("e13_scale", e13);
       ("e14_adversary_zoo", e14);
       ("e15_query", e15);
+      ("e16_memory", e16);
       ("bechamel", run_bechamel);
     ]
   in

@@ -232,6 +232,8 @@ type eparams = {
   p_anycast : int;
   p_drop : float;
   p_strategy : P.Adversary.strategy;
+  p_mem_ceiling : int; (* major-heap budget in words; 0 = unbounded *)
+  p_spill : bool; (* page cold vertex state out through the store *)
 }
 
 type world = {
@@ -309,6 +311,9 @@ let engine_core ?(quiet = false) ?(on_phase = fun ~epoch:_ (_ : string) -> ())
     ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 1) ?(fsync = true)
     world p =
   let sim = G.Simulator.create world.w_topo in
+  (* The engine never reads the simulator's message log, and at 10k+ ASes
+     it is the single largest allocation of a run — keep it off. *)
+  G.Simulator.set_log_enabled sim false;
   let faults =
     if p.p_drop > 0.0 then
       Some
@@ -356,12 +361,50 @@ let engine_core ?(quiet = false) ?(on_phase = fun ~epoch:_ (_ : string) -> ())
         Option.map
           (fun dir ->
             Pvr_engine.Persist.start ~fsync ~snapshot_every:checkpoint_every
-              ~dir ())
+              ~page:p.p_spill ~dir ())
           checkpoint_dir
       in
+      (* --spill without --checkpoint still needs a WAL to page into: a
+         scratch store under the temp dir, removed when the run ends. *)
+      let scratch_dir =
+        if p.p_spill && session = None then
+          Some
+            (Filename.concat
+               (Filename.get_temp_dir_name ())
+               (Printf.sprintf "pvr-spill-%d" (Unix.getpid ())))
+        else None
+      in
+      let scratch =
+        Option.map
+          (fun dir ->
+            Pvr_store.Store.reset ~dir;
+            Pvr_engine.Persist.start ~fsync:false ~snapshot_every:0 ~dir ())
+          scratch_dir
+      in
+      Pvr_engine.Engine.set_mem_ceiling eng p.p_mem_ceiling;
+      if p.p_spill then begin
+        let s =
+          match session with Some s -> s | None -> Option.get scratch
+        in
+        Pvr_engine.Engine.set_pager eng
+          (Some
+             (Pvr_engine.Persist.pager s
+                ~run_id:(Pvr_engine.Engine.Checkpoint.run_id eng)))
+      end;
       let convicted = ref 0 in
       Fun.protect
-        ~finally:(fun () -> Option.iter Pvr_engine.Persist.close session)
+        ~finally:(fun () ->
+          Option.iter Pvr_engine.Persist.close session;
+          Option.iter Pvr_engine.Persist.close scratch;
+          Option.iter
+            (fun dir ->
+              try
+                Array.iter
+                  (fun f -> Sys.remove (Filename.concat dir f))
+                  (Sys.readdir dir);
+                Unix.rmdir dir
+              with Sys_error _ | Unix.Unix_error _ -> ())
+            scratch_dir)
         (fun () ->
           for i = start + 1 to p.p_epochs do
             let r =
@@ -417,11 +460,16 @@ let run_engine p checkpoint resume checkpoint_every no_fsync report stats =
 
 exception Crashsoak_abort of int
 
-let phases = [| "apply"; "collect"; "verify"; "record" |]
+(* Spill runs add the two paging barriers to the kill pool.  A scheduled
+   spill/unspill kill may never fire in an epoch with no paging activity —
+   the child then finishes early, which the soak loop tolerates. *)
+let phases ~spill =
+  if spill then [| "apply"; "collect"; "unspill"; "verify"; "spill"; "record" |]
+  else [| "apply"; "collect"; "verify"; "record" |]
 
 (* [kills] distinct kill epochs in 1..epochs (partial Fisher-Yates), each
    with a random phase; sorted so each restart makes forward progress. *)
-let kill_schedule rng ~epochs ~kills =
+let kill_schedule rng ~phases ~epochs ~kills =
   let pool = Array.init epochs (fun i -> i + 1) in
   for i = 0 to kills - 1 do
     let j = i + C.Drbg.uniform_int rng (epochs - i) in
@@ -518,7 +566,10 @@ let run_crashsoak p kills checkpoint_every dir_opt no_corrupt keep stats =
         in
         Pvr_store.Store.reset ~dir;
         let sched = C.Drbg.split (C.Drbg.of_int_seed p.p_seed) "crashsoak" in
-        let points = kill_schedule sched ~epochs:p.p_epochs ~kills in
+        let points =
+          kill_schedule sched ~phases:(phases ~spill:p.p_spill)
+            ~epochs:p.p_epochs ~kills
+        in
         Printf.printf "crashsoak: seed=%d dir=%s kill schedule: %s\n%!" p.p_seed
           dir
           (String.concat ", "
@@ -1127,9 +1178,33 @@ let eparams_term =
              single behaviour name (e.g. equivocate) selects a sweep of \
              it.")
   in
+  let mem_ceiling =
+    Arg.(
+      value & opt int 0
+      & info [ "mem-ceiling" ] ~docv:"WORDS"
+          ~doc:
+            "Major-heap budget in words (the figure \
+             $(b,engine.gc.heap_words) exports).  When the post-epoch heap \
+             exceeds it the governor sheds load in stages — drop cold memo \
+             tables, spill cold vertex state (with $(b,--spill)), throttle \
+             carry-forward — all digest-invariant.  0 (default) is \
+             unbounded.")
+  in
+  let spill =
+    Arg.(
+      value & flag
+      & info [ "spill" ]
+          ~doc:
+            "Let the memory governor page cold (prover, prefix) vertex \
+             state out to the store as CRC-framed journal pages, read back \
+             transiently (or recomputed, identically) when needed.  Uses \
+             the $(b,--checkpoint) store when given, else a scratch store \
+             under the temp dir.  The digest is byte-identical with \
+             spilling on or off.")
+  in
   let make p_seed p_tiers p_peering p_ases p_gen_seed p_epochs p_jobs p_shards
       p_intern p_bits p_cache p_salt_every p_turnover p_origins p_ppo p_anycast
-      p_drop p_strategy =
+      p_drop p_strategy p_mem_ceiling p_spill =
     {
       p_seed;
       p_tiers;
@@ -1149,12 +1224,14 @@ let eparams_term =
       p_anycast;
       p_drop;
       p_strategy;
+      p_mem_ceiling;
+      p_spill;
     }
   in
   Term.(
     const make $ seed $ tiers $ peering $ ases $ gen_seed $ epochs $ jobs
     $ shards $ intern $ bits $ cache $ salt_every $ turnover $ origins
-    $ prefixes_per_origin $ anycast $ drop $ strategy)
+    $ prefixes_per_origin $ anycast $ drop $ strategy $ mem_ceiling $ spill)
 
 let checkpoint_every_arg =
   Arg.(

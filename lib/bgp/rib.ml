@@ -70,6 +70,37 @@ let in_neighbors t prefix =
     t.adj_in []
   |> List.rev
 
+(* Canonical description of everything this RIB holds for one prefix,
+   across all three tables.  Map iteration is ASN-sorted and
+   [Intern.encode] is representation-independent, so the string is a pure
+   function of RIB contents — [""] when the prefix is absent everywhere.
+   This is the unit the delta RIB tracker ({!Rib_delta}) digests. *)
+let prefix_entry t prefix =
+  let buf = Buffer.create 128 in
+  (match Prefix.Map.find_opt prefix t.loc with
+  | Some r ->
+      Buffer.add_string buf "b|";
+      Buffer.add_string buf (Intern.encode r);
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let add_table tag table =
+    Asn.Map.iter
+      (fun n per_prefix ->
+        match Prefix.Map.find_opt prefix per_prefix with
+        | Some r ->
+            Buffer.add_string buf tag;
+            Buffer.add_char buf '|';
+            Buffer.add_string buf (Asn.to_string n);
+            Buffer.add_char buf '|';
+            Buffer.add_string buf (Intern.encode r);
+            Buffer.add_char buf '\n'
+        | None -> ())
+      table
+  in
+  add_table "i" t.adj_in;
+  add_table "o" t.adj_out;
+  Buffer.contents buf
+
 let digest t =
   (* Canonical fingerprint of all three tables.  Map folds visit keys in
      sorted order and [Intern.encode] is byte-identical to [Route.encode]

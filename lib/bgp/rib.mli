@@ -30,6 +30,13 @@ val prefixes : t -> Prefix.t list
 val in_neighbors : t -> Prefix.t -> Asn.t list
 (** Neighbors currently contributing a route for the prefix. *)
 
+val prefix_entry : t -> Prefix.t -> string
+(** Canonical description of everything this RIB holds for [prefix]
+    across all three tables (best route, per-neighbor Adj-RIB-In and
+    Adj-RIB-Out, neighbors sorted), or [""] when the prefix is absent
+    everywhere.  Representation-independent, like {!digest} — this is
+    the unit {!Rib_delta} digests per (AS, prefix) pair. *)
+
 val digest : t -> string
 (** Canonical SHA-256 hex fingerprint of all three tables (sorted by
     neighbor and prefix).  A pure function of RIB contents: byte-identical

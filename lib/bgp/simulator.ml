@@ -20,6 +20,11 @@ type t = {
   queue : update Queue.t;
   mutable gao_rexford : bool;
   mutable log : update list; (* newest first *)
+  mutable log_enabled : bool;
+  dirty : (Asn.t * Prefix.t, unit) Hashtbl.t;
+      (* (AS, prefix) pairs whose RIB state may have changed since the
+         last [drain_dirty] — every mutation funnels through [reselect],
+         which marks here. *)
 }
 
 let obs_updates = Pvr_obs.counter "sim.updates.processed"
@@ -43,7 +48,15 @@ let create topo =
           acc)
       Asn.Map.empty (Topology.ases topo)
   in
-  { topo; nodes; queue = Queue.create (); gao_rexford = true; log = [] }
+  {
+    topo;
+    nodes;
+    queue = Queue.create ();
+    gao_rexford = true;
+    log = [];
+    log_enabled = true;
+    dirty = Hashtbl.create 256;
+  }
 
 let node t asn =
   match Asn.Map.find_opt asn t.nodes with
@@ -71,6 +84,7 @@ let export_policy n neighbor =
 (* Decide + export to every neighbor; enqueue updates where Adj-RIB-Out
    changes. *)
 let reselect t n prefix =
+  Hashtbl.replace t.dirty (n.asn, prefix) ();
   let candidates = Rib.candidates n.rib prefix in
   let candidates =
     if Prefix.Set.mem prefix n.origins then
@@ -163,7 +177,7 @@ let run ?(max_messages = 1_000_000) t =
         if !processed >= max_messages then
           failwith "Simulator.run: no convergence (policy dispute?)";
         let u = Queue.pop t.queue in
-        t.log <- u :: t.log;
+        if t.log_enabled then t.log <- u :: t.log;
         incr processed;
         deliver t u
       done;
@@ -180,3 +194,15 @@ let exported_route t ~asn ~neighbor prefix =
   Rib.get_out (node t asn).rib ~neighbor prefix
 
 let message_log t = List.rev t.log
+
+let set_log_enabled t b =
+  t.log_enabled <- b;
+  if not b then t.log <- []
+
+let drain_dirty t =
+  let pairs = Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  List.sort
+    (fun (a1, p1) (a2, p2) ->
+      match Asn.compare a1 a2 with 0 -> Prefix.compare p1 p2 | c -> c)
+    pairs

@@ -42,6 +42,18 @@ let sign_misses = Pvr_obs.counter "engine.cache.sign.misses"
 let g_heap_words = Pvr_obs.gauge "engine.gc.heap_words"
 let g_allocated_words = Pvr_obs.gauge "engine.gc.allocated_words"
 
+(* Memory-governor telemetry: every load-shedding transition is counted so
+   a bounded-memory run is auditable after the fact. *)
+let c_mem_cache_drops = Pvr_obs.counter "engine.mem.cache_drops"
+let c_mem_spills = Pvr_obs.counter "engine.mem.spills"
+let c_mem_unspills = Pvr_obs.counter "engine.mem.unspills"
+let c_mem_page_reads = Pvr_obs.counter "engine.mem.page_reads"
+let c_mem_page_read_failures = Pvr_obs.counter "engine.mem.page_read_failures"
+let c_mem_throttles = Pvr_obs.counter "engine.mem.throttles"
+let g_mem_resident = Pvr_obs.gauge "engine.mem.resident"
+let g_mem_spilled = Pvr_obs.gauge "engine.mem.spilled"
+let g_mem_ceiling = Pvr_obs.gauge "engine.mem.ceiling"
+
 (* Per-vertex memo tables.  A vertex is (re)computed by exactly one pool
    task per epoch, so its tables have a single owner at any time; the pool's
    join barrier publishes them back to the scheduling domain. *)
@@ -67,8 +79,45 @@ type vstate = {
   mutable vs_digest : string; (* snapshot_digest of the last verified state *)
   mutable vs_period : int;
   mutable vs_outcome : outcome;
-  mutable vs_cache : vcache;
+  mutable vs_cache : vcache option;
+      (* [None] after a governor cache drop (or a resume): memo tables are
+         a pure accelerator, rebuilt lazily on the next dirty hit *)
+  mutable vs_touched : int;
+      (* engine epoch of the last recomputation — the LRU recency key the
+         governor spills by *)
 }
+
+(* A vertex slot is either resident or paged out to the store.  A spilled
+   slot keeps only what the clean-skip test needs (snapshot digest + salt
+   period) plus the journal offset of its page frame; the outcome line is
+   read back transiently each epoch, so a cold vertex costs O(1) heap. *)
+type spilled = { sp_digest : string; sp_period : int; sp_off : int }
+type slot = Resident of vstate | Spilled of spilled
+
+(* Paging backend: append a page blob (returning a stable address) and
+   read one back.  [Persist.pager] wires this to the WAL journal;
+   [memory_pager] is the store-free variant unit tests use. *)
+type pager = {
+  pg_append : key:string -> blob:string -> int;
+  pg_read : off:int -> (string, string) result;
+}
+
+let memory_pager () =
+  let tbl : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  {
+    pg_append =
+      (fun ~key:_ ~blob ->
+        let off = !next in
+        incr next;
+        Hashtbl.replace tbl off blob;
+        off);
+    pg_read =
+      (fun ~off ->
+        match Hashtbl.find_opt tbl off with
+        | Some b -> Ok b
+        | None -> Error "no such page");
+  }
 
 type t = {
   keyring : Pvr.Keyring.t;
@@ -86,10 +135,18 @@ type t = {
   nbrs : (Bgp.Asn.t, Bgp.Asn.t list) Hashtbl.t;
       (* per-AS sorted neighbor ASNs; the topology is immutable, so this is
          computed once instead of per prover per epoch in [collect] *)
-  states : (string, vstate) Hashtbl.t;
+  states : (string, slot) Hashtbl.t;
   mutable epoch_no : int;
   mutable chain : string;
   mutable live : vertex list;
+  rtracker : Bgp.Rib_delta.t;
+      (* digest-level mirror of the simulator's RIBs, fed from its dirty
+         pairs — keeps [rib_digest] O(dirty) instead of O(world) *)
+  mutable pager : pager option;
+  mutable mem_ceiling : int; (* heap-word budget; 0 = unbounded *)
+  mutable throttled : bool;
+      (* governor stage 3 latched: the next epoch runs without retaining
+         any memo tables *)
 }
 
 let chain0 = C.Sha256.digest_hex "pvr-engine-report-v1"
@@ -128,11 +185,30 @@ let create ?(jobs = 1) ?(shards = 0) ?(cache = true) ?(salt_every = 8)
     epoch_no = 0;
     chain = chain0;
     live = [];
+    rtracker = Bgp.Rib_delta.create ();
+    pager = None;
+    mem_ceiling = 0;
+    throttled = false;
   }
 
 let current_epoch t = t.epoch_no
 let digest t = t.chain
 let live_vertices t = t.live
+let set_pager t p = t.pager <- p
+
+let set_mem_ceiling t words =
+  t.mem_ceiling <- max 0 words;
+  Pvr_obs.set_gauge g_mem_ceiling t.mem_ceiling
+
+let resident_states t =
+  Hashtbl.fold
+    (fun _ s n -> match s with Resident _ -> n + 1 | Spilled _ -> n)
+    t.states 0
+
+let spilled_states t =
+  Hashtbl.fold
+    (fun _ s n -> match s with Spilled _ -> n + 1 | Resident _ -> n)
+    t.states 0
 
 let vertex_key v =
   Bgp.Asn.to_string v.vprover ^ "|" ^ Bgp.Prefix.to_string v.vprefix
@@ -560,31 +636,297 @@ let report_line r =
     r.ep_epoch r.ep_period r.ep_changes r.ep_msgs r.ep_vertices r.ep_dirty
     r.ep_skipped r.ep_detected r.ep_convicted r.ep_digest
 
+(* ---- vertex state records -------------------------------------------------- *)
+
+(* One vertex's carry-forward state, serialized.  This encoding is shared
+   byte-for-byte between checkpoint blobs (a count followed by records)
+   and spill pages (exactly one record per page frame): a spilled slot can
+   be passed straight through into a checkpoint, and unspill reuses the
+   checkpoint reader. *)
+module Codec = Pvr_store.Codec
+
+type state_record = {
+  sr_key : string;
+  sr_period : int;
+  sr_digest : string;
+  sr_prover : int;
+  sr_addr : int;
+  sr_len : int;
+  sr_beneficiary : int;
+  sr_providers : int list;
+  sr_behaviour : string;
+  sr_detected : bool;
+  sr_convicted : bool;
+  sr_evidence : int;
+  sr_kinds : string list;
+  sr_leaked : int;
+  sr_excess : int;
+  sr_line : string;
+}
+
+let encode_state buf key vs =
+  Codec.str buf key;
+  Codec.u32 buf vs.vs_period;
+  Codec.str buf vs.vs_digest;
+  let o = vs.vs_outcome in
+  Codec.u32 buf (Bgp.Asn.to_int o.vx_vertex.vprover);
+  Codec.u32 buf o.vx_vertex.vprefix.Bgp.Prefix.addr;
+  Codec.u32 buf o.vx_vertex.vprefix.Bgp.Prefix.len;
+  Codec.u32 buf (Bgp.Asn.to_int o.vx_beneficiary);
+  Codec.u32 buf (List.length o.vx_providers);
+  List.iter (fun a -> Codec.u32 buf (Bgp.Asn.to_int a)) o.vx_providers;
+  Codec.str buf (Pvr.Adversary.to_string o.vx_behaviour);
+  Codec.bool_ buf o.vx_detected;
+  Codec.bool_ buf o.vx_convicted;
+  Codec.u32 buf o.vx_evidence;
+  Codec.u32 buf (List.length o.vx_kinds);
+  List.iter (fun k -> Codec.str buf k) o.vx_kinds;
+  Codec.u32 buf o.vx_leaked_bits;
+  Codec.u32 buf o.vx_excess_bits;
+  Codec.str buf o.vx_line
+
+let read_state r =
+  let sr_key = Codec.get_str r in
+  let sr_period = Codec.get_u32 r in
+  let sr_digest = Codec.get_str r in
+  let sr_prover = Codec.get_u32 r in
+  let sr_addr = Codec.get_u32 r in
+  let sr_len = Codec.get_u32 r in
+  let sr_beneficiary = Codec.get_u32 r in
+  let np = Codec.get_u32 r in
+  let sr_providers = List.init np (fun _ -> Codec.get_u32 r) in
+  let sr_behaviour = Codec.get_str r in
+  let sr_detected = Codec.get_bool r in
+  let sr_convicted = Codec.get_bool r in
+  let sr_evidence = Codec.get_u32 r in
+  let nk = Codec.get_u32 r in
+  let sr_kinds = List.init nk (fun _ -> Codec.get_str r) in
+  let sr_leaked = Codec.get_u32 r in
+  let sr_excess = Codec.get_u32 r in
+  let sr_line = Codec.get_str r in
+  {
+    sr_key;
+    sr_period;
+    sr_digest;
+    sr_prover;
+    sr_addr;
+    sr_len;
+    sr_beneficiary;
+    sr_providers;
+    sr_behaviour;
+    sr_detected;
+    sr_convicted;
+    sr_evidence;
+    sr_kinds;
+    sr_leaked;
+    sr_excess;
+    sr_line;
+  }
+
+let outcome_of_record sr =
+  let vertex =
+    {
+      vprover = Bgp.Asn.of_int sr.sr_prover;
+      vprefix = Bgp.Prefix.make ~addr:sr.sr_addr ~len:sr.sr_len;
+    }
+  in
+  {
+    vx_vertex = vertex;
+    vx_beneficiary = Bgp.Asn.of_int sr.sr_beneficiary;
+    vx_providers = List.map Bgp.Asn.of_int sr.sr_providers;
+    vx_routes = [];
+    vx_recomputed = false;
+    vx_behaviour =
+      (match
+         List.find_opt
+           (fun b -> Pvr.Adversary.to_string b = sr.sr_behaviour)
+           Pvr.Adversary.all
+       with
+      | Some b -> b
+      | None -> Pvr.Adversary.Honest);
+    vx_detected = sr.sr_detected;
+    vx_convicted = sr.sr_convicted;
+    vx_evidence = sr.sr_evidence;
+    vx_kinds = sr.sr_kinds;
+    vx_leaked_bits = sr.sr_leaked;
+    vx_excess_bits = sr.sr_excess;
+    vx_net = None;
+    vx_line = sr.sr_line;
+  }
+
+(* ---- memory governor ------------------------------------------------------- *)
+
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let page_blob key vs =
+  let buf = Buffer.create 256 in
+  encode_state buf key vs;
+  Buffer.contents buf
+
+(* Read a spilled vertex's carried outcome back from its page.  [None] on
+   any failure — a missing pager, a torn frame, a mangled record — which
+   the caller turns into a recomputation; the purity contract makes that
+   digest-identical, so a corrupt page can degrade performance but never
+   poison a result. *)
+let page_outcome t sp =
+  match t.pager with
+  | None -> None
+  | Some pg -> (
+      match pg.pg_read ~off:sp.sp_off with
+      | Error _ ->
+          Pvr_obs.incr c_mem_page_read_failures;
+          None
+      | Ok blob -> (
+          Pvr_obs.incr c_mem_page_reads;
+          match Codec.decode blob read_state with
+          | Error _ ->
+              Pvr_obs.incr c_mem_page_read_failures;
+              None
+          | Ok sr -> Some (outcome_of_record sr)))
+
+let drop_cold_caches t =
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ s ->
+      match s with
+      | Resident vs when vs.vs_touched < t.epoch_no && vs.vs_cache <> None ->
+          vs.vs_cache <- None;
+          incr n
+      | _ -> ())
+    t.states;
+  Pvr_obs.add c_mem_cache_drops !n;
+  !n
+
+(* Page resident vertices out, coldest (oldest recomputation) first; with
+   [all] even this epoch's vertices go.  The key tiebreak keeps the spill
+   order — and hence the journal layout — deterministic. *)
+let spill_cold t pg ~on_phase ~all =
+  let candidates =
+    Hashtbl.fold
+      (fun k s acc ->
+        match s with
+        | Resident vs when all || vs.vs_touched < t.epoch_no -> (k, vs) :: acc
+        | _ -> acc)
+      t.states []
+    |> List.sort (fun (k1, a) (k2, b) ->
+           match Int.compare a.vs_touched b.vs_touched with
+           | 0 -> String.compare k1 k2
+           | c -> c)
+  in
+  let first = ref true in
+  List.iter
+    (fun (key, vs) ->
+      let off = pg.pg_append ~key ~blob:(page_blob key vs) in
+      Hashtbl.replace t.states key
+        (Spilled
+           { sp_digest = vs.vs_digest; sp_period = vs.vs_period; sp_off = off });
+      Pvr_obs.incr c_mem_spills;
+      if !first then begin
+        first := false;
+        (* Kill point: the first page is on disk (possibly torn), the slot
+           table already points at it, and no committed record references
+           it — crashsoak proves recovery from exactly here. *)
+        on_phase "spill"
+      end)
+    candidates;
+  List.length candidates
+
+(* Shed load in stages until the major heap fits under the ceiling:
+   1. drop cold memo tables (pure accelerators, rebuilt on demand);
+   2. spill cold vertex state to the store, LRU first;
+   3. throttle — shed everything sheddable and retain no memo tables next
+      epoch.  [Gc.compact] between stages because [heap_words] measures
+      the major heap's footprint, which only shrinks on compaction. *)
+let govern t ~on_phase =
+  if t.mem_ceiling > 0 then begin
+    let over () = heap_words () > t.mem_ceiling in
+    if over () then begin
+      if drop_cold_caches t > 0 then Gc.compact ();
+      (match t.pager with
+      | Some pg when over () ->
+          if spill_cold t pg ~on_phase ~all:false > 0 then Gc.compact ()
+      | _ -> ());
+      if over () then begin
+        Pvr_obs.incr c_mem_throttles;
+        t.throttled <- true;
+        Hashtbl.iter
+          (fun _ s ->
+            match s with
+            | Resident vs when vs.vs_cache <> None ->
+                vs.vs_cache <- None;
+                Pvr_obs.incr c_mem_cache_drops
+            | _ -> ())
+          t.states;
+        (match t.pager with
+        | Some pg -> ignore (spill_cold t pg ~on_phase ~all:true)
+        | None -> ());
+        Gc.compact ()
+      end
+      else t.throttled <- false
+    end
+    else t.throttled <- false;
+    Pvr_obs.set_gauge g_mem_resident (resident_states t);
+    Pvr_obs.set_gauge g_mem_spilled (spilled_states t)
+  end
+
+(* BGP path hunting on a withdrawal can revisit a large share of the graph
+   several times over before settling, so the simulator's default
+   1M-message dispute cap is too tight for 10k+-AS worlds.  Scale the
+   budget with the topology — small worlds keep the old cap, so a genuine
+   policy dispute still fails fast. *)
+let convergence_budget t = max 1_000_000 (1_000 * List.length t.ases)
+
 let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
   Pvr_obs.with_span "engine.epoch" @@ fun () ->
   t.epoch_no <- t.epoch_no + 1;
   let period = (t.epoch_no - 1) / t.salt_every in
   let wire_epoch = period + 1 in
   let changes = apply t.sim in
-  let msgs = Bgp.Simulator.run t.sim in
+  let msgs = Bgp.Simulator.run ~max_messages:(convergence_budget t) t.sim in
   on_phase "apply";
   let snapshots = collect t in
   on_phase "collect";
+  let page_activity = ref false in
   let classified =
     List.map
       (fun sn ->
+        let key = vertex_key sn.sn_vertex in
         let dg = snapshot_digest sn in
-        match Hashtbl.find_opt t.states (vertex_key sn.sn_vertex) with
-        | Some vs when t.cache && vs.vs_period = period && vs.vs_digest = dg
-          ->
+        match Hashtbl.find_opt t.states key with
+        | Some (Resident vs)
+          when t.cache && vs.vs_period = period && vs.vs_digest = dg ->
             `Clean (sn, vs)
-        | prev -> `Dirty (sn, dg, prev))
+        | Some (Spilled sp)
+          when t.cache && sp.sp_period = period && sp.sp_digest = dg -> (
+            (* Clean but cold: the carried outcome lives in its page
+               frame.  Read it transiently — it is garbage after this
+               epoch's report — so a quiet cold vertex costs O(1) retained
+               heap.  An unreadable page degrades to recomputation, which
+               the purity contract makes digest-identical. *)
+            page_activity := true;
+            match page_outcome t sp with
+            | Some outcome -> `Carried outcome
+            | None ->
+                Hashtbl.remove t.states key;
+                `Dirty (sn, dg, None))
+        | Some (Spilled _) ->
+            (* The vertex changed while cold: its page holds a stale
+               outcome and no memo tables were ever paged, so recompute
+               from scratch and re-admit it resident. *)
+            page_activity := true;
+            Pvr_obs.incr c_mem_unspills;
+            Hashtbl.remove t.states key;
+            `Dirty (sn, dg, None)
+        | Some (Resident vs) -> `Dirty (sn, dg, Some vs)
+        | None -> `Dirty (sn, dg, None))
       snapshots
   in
+  if !page_activity then on_phase "unspill";
   let dirty =
     List.filter_map
       (function
-        | `Dirty (sn, dg, prev) -> Some (sn, dg, prev) | `Clean _ -> None)
+        | `Dirty (sn, dg, prev) -> Some (sn, dg, prev)
+        | `Clean _ | `Carried _ -> None)
       classified
   in
   let caches =
@@ -592,8 +934,14 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
       (List.map
          (fun (_, _, prev) ->
            match prev with
-           | Some vs when t.cache && vs.vs_period = period -> vs.vs_cache
-           | Some vs when t.cache -> recycle_vcache t vs.vs_cache ~period
+           | Some vs when t.cache && vs.vs_period = period -> (
+               match vs.vs_cache with
+               | Some vc -> vc
+               | None -> fresh_vcache t ~period)
+           | Some vs when t.cache -> (
+               match vs.vs_cache with
+               | Some vc -> recycle_vcache t vc ~period
+               | None -> fresh_vcache t ~period)
            | _ -> fresh_vcache t ~period)
          dirty)
   in
@@ -622,30 +970,37 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
   (* Merge back in vertex order; record fresh state for recomputed vertices,
      carry the previous outcome for clean ones. *)
   let i = ref 0 in
+  (* Under throttle (governor stage 3) no memo tables are retained: fresh
+     caches still accelerate within the epoch, then become garbage. *)
+  let retain = not t.throttled in
   let outcomes =
     List.map
       (function
         | `Clean ((_ : snapshot), vs) ->
             { vs.vs_outcome with vx_recomputed = false }
+        | `Carried outcome -> outcome
         | `Dirty (sn, dg, prev) ->
             let k = !i in
             incr i;
             let outcome = results.(k) in
-            let vc = caches.(k) in
+            let vc = if retain then Some caches.(k) else None in
             (match prev with
             | Some vs ->
                 vs.vs_digest <- dg;
                 vs.vs_period <- period;
                 vs.vs_outcome <- outcome;
-                vs.vs_cache <- vc
+                vs.vs_cache <- vc;
+                vs.vs_touched <- t.epoch_no
             | None ->
                 Hashtbl.replace t.states (vertex_key sn.sn_vertex)
-                  {
-                    vs_digest = dg;
-                    vs_period = period;
-                    vs_outcome = outcome;
-                    vs_cache = vc;
-                  });
+                  (Resident
+                     {
+                       vs_digest = dg;
+                       vs_period = period;
+                       vs_outcome = outcome;
+                       vs_cache = vc;
+                       vs_touched = t.epoch_no;
+                     }));
             outcome)
       classified
   in
@@ -659,14 +1014,18 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
     snapshots;
   let dead =
     Hashtbl.fold
-      (fun k vs acc ->
-        if vs.vs_period < period && not (Hashtbl.mem live_keys k) then
-          k :: acc
-        else acc)
+      (fun k s acc ->
+        let p =
+          match s with
+          | Resident vs -> vs.vs_period
+          | Spilled sp -> sp.sp_period
+        in
+        if p < period && not (Hashtbl.mem live_keys k) then k :: acc else acc)
       t.states []
   in
   List.iter (Hashtbl.remove t.states) dead;
   t.live <- List.map (fun sn -> sn.sn_vertex) snapshots;
+  govern t ~on_phase;
   let n_vertices = List.length snapshots in
   let n_dirty = List.length dirty in
   let n_skipped = n_vertices - n_dirty in
@@ -718,48 +1077,50 @@ let epoch ?(apply = fun _ -> 0) ?(on_phase = fun (_ : string) -> ()) t =
 let skip_epoch ?(apply = fun _ -> 0) t =
   t.epoch_no <- t.epoch_no + 1;
   let changes = apply t.sim in
-  let msgs = Bgp.Simulator.run t.sim in
+  let msgs = Bgp.Simulator.run ~max_messages:(convergence_budget t) t.sim in
   (changes, msgs)
 
-(* Canonical fingerprint of the entire simulator state the engine can see:
-   per AS (sorted), per prefix (sorted), the Loc-RIB best route and the
-   per-neighbor Adj-RIB-In/Out entries.  Length-framed so field boundaries
-   cannot alias. *)
+(* Canonical fingerprint of the entire simulator state the engine can see,
+   maintained incrementally: the simulator marks every (AS, prefix) pair
+   its decision/export step touches, [sync_rib] folds those pairs'
+   canonical entries ({!Bgp.Rib.prefix_entry}) into the digest-level
+   tracker, and the global digest falls out in O(dirty) per refresh
+   instead of an O(world) walk.  [rib_digest_full] is the naive twin the
+   differential-oracle suite pins the tracker against. *)
+let sync_rib t =
+  List.iter
+    (fun (asn, prefix) ->
+      let entry = Bgp.Rib.prefix_entry (Bgp.Simulator.rib t.sim asn) prefix in
+      ignore (Bgp.Rib_delta.update t.rtracker ~asn ~prefix ~entry))
+    (Bgp.Simulator.drain_dirty t.sim)
+
 let rib_digest t =
-  let parts = ref [] in
-  let add s = parts := s :: !parts in
+  sync_rib t;
+  Bgp.Rib_delta.digest t.rtracker
+
+let rib_changes t =
+  sync_rib t;
+  Bgp.Rib_delta.drain_changes t.rtracker
+
+let rib_full t =
+  sync_rib t;
+  Bgp.Rib_delta.encode_full t.rtracker
+
+let rib_digest_full t =
+  let tr = Bgp.Rib_delta.create () in
   List.iter
     (fun asn ->
-      add ("as:" ^ Bgp.Asn.to_string asn);
       let rib = Bgp.Simulator.rib t.sim asn in
-      let neighbors =
-        List.map fst (Bgp.Topology.neighbors t.topo asn)
-        |> List.sort Bgp.Asn.compare
-      in
       List.iter
         (fun p ->
-          add ("p:" ^ Bgp.Prefix.to_string p);
-          (match Bgp.Rib.get_best rib p with
-          | Some r -> add ("b:" ^ Bgp.Intern.encode r)
-          | None -> ());
-          List.iter
-            (fun n ->
-              (match Bgp.Rib.get_in rib ~neighbor:n p with
-              | Some r ->
-                  add ("i:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Intern.encode r)
-              | None -> ());
-              match Bgp.Rib.get_out rib ~neighbor:n p with
-              | Some r ->
-                  add ("o:" ^ Bgp.Asn.to_string n ^ ":" ^ Bgp.Intern.encode r)
-              | None -> ())
-            neighbors)
-        (List.sort Bgp.Prefix.compare (Bgp.Rib.prefixes rib)))
+          ignore
+            (Bgp.Rib_delta.update tr ~asn ~prefix:p
+               ~entry:(Bgp.Rib.prefix_entry rib p)))
+        (Bgp.Rib.prefixes rib))
     t.ases;
-  C.Sha256.digest_parts_hex (List.rev !parts)
+  Bgp.Rib_delta.digest tr
 
 module Checkpoint = struct
-  module Codec = Pvr_store.Codec
-
   type info = {
     ck_epoch : int;
     ck_chain : string;
@@ -768,31 +1129,14 @@ module Checkpoint = struct
     ck_states : int;
   }
 
-  (* v3: adds per-vertex evidence-kind tags (the query plane's violation
-     classes).  v2 added behaviour and leaked/excess bit counts.  Older
-     blobs are refused (resume falls back to full recomputation, which the
-     determinism contract makes harmless). *)
-  let ck_version = 3
+  (* v4: the RIB digest is now the delta-tracker digest (two-level, per-AS
+     over per-pair entry digests) rather than the flat O(world) walk — a
+     semantic change to [ck_rib]/[er_rib], so older blobs are refused and
+     resume falls back to full recomputation, which the determinism
+     contract makes harmless.  v3 added per-vertex evidence-kind tags; v2
+     behaviour and leaked/excess bit counts. *)
+  let ck_version = 4
   let run_id t = C.Sha256.digest_hex ("pvr-engine-run-id|" ^ t.secret)
-
-  type state_record = {
-    sr_key : string;
-    sr_period : int;
-    sr_digest : string;
-    sr_prover : int;
-    sr_addr : int;
-    sr_len : int;
-    sr_beneficiary : int;
-    sr_providers : int list;
-    sr_behaviour : string;
-    sr_detected : bool;
-    sr_convicted : bool;
-    sr_evidence : int;
-    sr_kinds : string list;
-    sr_leaked : int;
-    sr_excess : int;
-    sr_line : string;
-  }
 
   let save t =
     let buf = Buffer.create 4096 in
@@ -801,33 +1145,34 @@ module Checkpoint = struct
     Codec.str buf t.chain;
     Codec.str buf (run_id t);
     Codec.str buf (rib_digest t);
-    let states =
+    let slots =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.states []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
-    Codec.u32 buf (List.length states);
-    List.iter
-      (fun (key, vs) ->
-        Codec.str buf key;
-        Codec.u32 buf vs.vs_period;
-        Codec.str buf vs.vs_digest;
-        let o = vs.vs_outcome in
-        Codec.u32 buf (Bgp.Asn.to_int o.vx_vertex.vprover);
-        Codec.u32 buf o.vx_vertex.vprefix.Bgp.Prefix.addr;
-        Codec.u32 buf o.vx_vertex.vprefix.Bgp.Prefix.len;
-        Codec.u32 buf (Bgp.Asn.to_int o.vx_beneficiary);
-        Codec.u32 buf (List.length o.vx_providers);
-        List.iter (fun a -> Codec.u32 buf (Bgp.Asn.to_int a)) o.vx_providers;
-        Codec.str buf (Pvr.Adversary.to_string o.vx_behaviour);
-        Codec.bool_ buf o.vx_detected;
-        Codec.bool_ buf o.vx_convicted;
-        Codec.u32 buf o.vx_evidence;
-        Codec.u32 buf (List.length o.vx_kinds);
-        List.iter (fun k -> Codec.str buf k) o.vx_kinds;
-        Codec.u32 buf o.vx_leaked_bits;
-        Codec.u32 buf o.vx_excess_bits;
-        Codec.str buf o.vx_line)
-      states;
+    (* A spilled slot's page blob is exactly one state-record encoding, so
+       it passes through into the checkpoint untouched — no unspill storm
+       on the snapshot cadence.  An unreadable page is skipped: the vertex
+       recomputes once after resume, digest-identical. *)
+    let records =
+      List.filter_map
+        (fun (key, slot) ->
+          match slot with
+          | Resident vs -> Some (page_blob key vs)
+          | Spilled sp -> (
+              match t.pager with
+              | None -> None
+              | Some pg -> (
+                  match pg.pg_read ~off:sp.sp_off with
+                  | Ok blob ->
+                      Pvr_obs.incr c_mem_page_reads;
+                      Some blob
+                  | Error _ ->
+                      Pvr_obs.incr c_mem_page_read_failures;
+                      None)))
+        slots
+    in
+    Codec.u32 buf (List.length records);
+    List.iter (Buffer.add_string buf) records;
     Buffer.contents buf
 
   let parse blob =
@@ -841,90 +1186,24 @@ module Checkpoint = struct
         let ck_run_id = Codec.get_str r in
         let ck_rib = Codec.get_str r in
         let n = Codec.get_u32 r in
-        let states =
-          List.init n (fun _ ->
-              let sr_key = Codec.get_str r in
-              let sr_period = Codec.get_u32 r in
-              let sr_digest = Codec.get_str r in
-              let sr_prover = Codec.get_u32 r in
-              let sr_addr = Codec.get_u32 r in
-              let sr_len = Codec.get_u32 r in
-              let sr_beneficiary = Codec.get_u32 r in
-              let np = Codec.get_u32 r in
-              let sr_providers = List.init np (fun _ -> Codec.get_u32 r) in
-              let sr_behaviour = Codec.get_str r in
-              let sr_detected = Codec.get_bool r in
-              let sr_convicted = Codec.get_bool r in
-              let sr_evidence = Codec.get_u32 r in
-              let nk = Codec.get_u32 r in
-              let sr_kinds = List.init nk (fun _ -> Codec.get_str r) in
-              let sr_leaked = Codec.get_u32 r in
-              let sr_excess = Codec.get_u32 r in
-              let sr_line = Codec.get_str r in
-              {
-                sr_key;
-                sr_period;
-                sr_digest;
-                sr_prover;
-                sr_addr;
-                sr_len;
-                sr_beneficiary;
-                sr_providers;
-                sr_behaviour;
-                sr_detected;
-                sr_convicted;
-                sr_evidence;
-                sr_kinds;
-                sr_leaked;
-                sr_excess;
-                sr_line;
-              })
-        in
+        let states = List.init n (fun _ -> read_state r) in
         ( { ck_epoch; ck_chain; ck_run_id; ck_rib; ck_states = n }, states ))
 
   let info blob = Result.map fst (parse blob)
 
   (* Rebuild a vstate from its serialized record.  Memo tables restart
-     empty ([fresh_vcache] at the recorded salt period — the "generation
-     counter"): recomputation is pure, so empty tables cost redundant
-     crypto on the next dirty hit but can never change an outcome.
-     [vx_routes]/[vx_net] are not persisted; a carried-forward outcome
-     only contributes its canonical line to the digest. *)
-  let vstate_of_record t sr =
-    let vertex =
-      {
-        vprover = Bgp.Asn.of_int sr.sr_prover;
-        vprefix = Bgp.Prefix.make ~addr:sr.sr_addr ~len:sr.sr_len;
-      }
-    in
+     absent ([vs_cache = None], built lazily on the next dirty hit):
+     recomputation is pure, so empty tables cost redundant crypto but can
+     never change an outcome.  [vx_routes]/[vx_net] are not persisted; a
+     carried-forward outcome only contributes its canonical line to the
+     digest. *)
+  let vstate_of_record sr =
     {
       vs_digest = sr.sr_digest;
       vs_period = sr.sr_period;
-      vs_outcome =
-        {
-          vx_vertex = vertex;
-          vx_beneficiary = Bgp.Asn.of_int sr.sr_beneficiary;
-          vx_providers = List.map Bgp.Asn.of_int sr.sr_providers;
-          vx_routes = [];
-          vx_recomputed = false;
-          vx_behaviour =
-            (match
-               List.find_opt
-                 (fun b -> Pvr.Adversary.to_string b = sr.sr_behaviour)
-                 Pvr.Adversary.all
-             with
-            | Some b -> b
-            | None -> Pvr.Adversary.Honest);
-          vx_detected = sr.sr_detected;
-          vx_convicted = sr.sr_convicted;
-          vx_evidence = sr.sr_evidence;
-          vx_kinds = sr.sr_kinds;
-          vx_leaked_bits = sr.sr_leaked;
-          vx_excess_bits = sr.sr_excess;
-          vx_net = None;
-          vx_line = sr.sr_line;
-        };
-      vs_cache = fresh_vcache t ~period:sr.sr_period;
+      vs_outcome = outcome_of_record sr;
+      vs_cache = None;
+      vs_touched = 0;
     }
 
   let load t blob =
@@ -945,7 +1224,8 @@ module Checkpoint = struct
           Hashtbl.reset t.states;
           List.iter
             (fun sr ->
-              Hashtbl.replace t.states sr.sr_key (vstate_of_record t sr))
+              Hashtbl.replace t.states sr.sr_key
+                (Resident (vstate_of_record sr)))
             records;
           t.chain <- info.ck_chain;
           Ok info

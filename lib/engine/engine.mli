@@ -137,9 +137,52 @@ val epoch :
     (simulator converged), ["collect"] (vertices enumerated), ["verify"]
     (worker pool drained) — and exists so the crash-soak harness can kill
     the process mid-epoch at seeded points.  It must not mutate engine
-    state. *)
+    state.  Two more phases fire only on bounded-memory runs: ["unspill"]
+    after classification when any spilled page was read back (or found
+    stale), and ["spill"] inside the governor immediately after the first
+    page of a spill batch hits the store. *)
 
 val current_epoch : t -> int
+
+(** {2 Bounded memory}
+
+    With a ceiling set, the governor checks the major heap after every
+    epoch and sheds load in stages: drop cold memo tables, page cold
+    (prover, prefix) vertex state out through the {!pager}, and finally
+    throttle (retain nothing next epoch).  Every transition is counted
+    under ["engine.mem.*"].  Spilling is digest-invariant: a spilled
+    vertex's carried outcome is read back transiently each epoch, and any
+    unreadable page degrades to recomputation, which purity makes
+    byte-identical. *)
+
+type pager = {
+  pg_append : key:string -> blob:string -> int;
+      (** persist one page blob, returning its stable address *)
+  pg_read : off:int -> (string, string) result;
+}
+(** Paging backend for the spill layer.  {!Persist.pager} wires this to
+    the WAL journal (CRC-framed, torn-tail safe); {!memory_pager} is the
+    store-free variant for tests. *)
+
+val memory_pager : unit -> pager
+(** An in-heap pager (a hashtable of blobs).  Useless for saving memory —
+    it exists so differential tests can exercise the spill machinery
+    without a store directory. *)
+
+val set_pager : t -> pager option -> unit
+(** Install (or remove) the paging backend.  Without one, the governor
+    can only shed caches and throttle, never spill. *)
+
+val set_mem_ceiling : t -> int -> unit
+(** Set the major-heap budget in words ([0] = unbounded, the default).
+    The governor compares it against [Gc.quick_stat].heap_words — the
+    same figure the ["engine.gc.heap_words"] gauge exports. *)
+
+val resident_states : t -> int
+(** Vertices whose carry-forward state is in the heap. *)
+
+val spilled_states : t -> int
+(** Vertices currently paged out to the store. *)
 
 val digest : t -> string
 (** The running report digest ([ep_digest] of the latest epoch; the hex
@@ -172,8 +215,23 @@ val skip_epoch : ?apply:(Bgp.Simulator.t -> int) -> t -> int * int
 
 val rib_digest : t -> string
 (** Hex fingerprint of the full simulator state visible to the engine
-    (Loc-RIB and per-neighbor Adj-RIB-In/Out of every AS).  Resume refuses
-    to continue when the replayed state does not match the stored one. *)
+    (Loc-RIB and per-neighbor Adj-RIB-In/Out of every AS), maintained
+    incrementally by a {!Bgp.Rib_delta} tracker fed from the simulator's
+    dirty pairs — O(dirty) per refresh.  Resume refuses to continue when
+    the replayed state does not match the stored one. *)
+
+val rib_digest_full : t -> string
+(** The O(world) naive twin of {!rib_digest}: rebuild the tracker from
+    scratch over every AS's RIB.  Must always equal {!rib_digest} — the
+    differential-oracle suite asserts it. *)
+
+val rib_changes : t -> Bgp.Rib_delta.change list
+(** Drain the tracker's accumulated pair changes (syncing it first).
+    {!Persist} journals these as a delta page each recorded epoch. *)
+
+val rib_full : t -> string
+(** The tracker's full serialized state ({!Bgp.Rib_delta.encode_full}),
+    synced first.  {!Persist} journals one on the snapshot cadence. *)
 
 module Checkpoint : sig
   type info = {

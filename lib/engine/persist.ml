@@ -26,13 +26,39 @@ type session = {
   store : Store.t;
   snapshot_every : int;
   dir : string;
+  page : bool;
   mutable index : Evidence_index.t option;
       (* live mirror of the journaled evidence plane; rebuilt from the
          store on the first record after a resume *)
 }
 
-let start ?(fsync = true) ?(snapshot_every = 1) ~dir () =
-  { store = Store.open_ ~fsync ~dir (); snapshot_every; dir; index = None }
+let start ?(fsync = true) ?(snapshot_every = 1) ?(page = false) ~dir () =
+  { store = Store.open_ ~fsync ~dir (); snapshot_every; dir; page;
+    index = None }
+
+(* Wire the engine's spill layer to this session's WAL: pages are tag-4
+   journal frames addressed by the byte offset [Store.append'] returns,
+   CRC-checked on the way back and validated against the run id — a page
+   from another run (or a mangled one) reads as an error, which the
+   engine treats as a cache miss and recomputes through. *)
+let pager s ~run_id =
+  {
+    Engine.pg_append =
+      (fun ~key ~blob ->
+        Store.append' s.store
+          (Frame.encode_page
+             { Frame.pf_run_id = run_id; pf_key = key; pf_blob = blob }));
+    pg_read =
+      (fun ~off ->
+        match Store.read_frame_at ~dir:s.dir ~off with
+        | Error _ as e -> e
+        | Ok payload -> (
+            match Frame.decode payload with
+            | Ok (Frame.Page pf) when pf.Frame.pf_run_id = run_id ->
+                Ok pf.Frame.pf_blob
+            | Ok _ -> Error "frame at offset is not a page of this run"
+            | Error e -> Error e));
+  }
 
 let row_of_outcome ~epoch (o : Engine.outcome) =
   {
@@ -73,6 +99,27 @@ let record s eng (r : Engine.epoch_report) =
   let epoch = r.Engine.ep_epoch in
   let idx = live_index s ~run_id ~epoch in
   let rows = List.map (row_of_outcome ~epoch) r.Engine.ep_outcomes in
+  (* On paging sessions, journal the delta RIB tracker's view first: one
+     delta page per epoch, plus a full page on the snapshot cadence.
+     Pages ride before the epoch record, so the commit mark covers them;
+     a crash in between leaves ignorable orphans, same as rows. *)
+  if s.page then begin
+    Store.append s.store
+      (Frame.encode_page
+         {
+           Frame.pf_run_id = run_id;
+           pf_key = Printf.sprintf "rib:delta:%d" epoch;
+           pf_blob = Bgp.Rib_delta.encode_delta (Engine.rib_changes eng);
+         });
+    if s.snapshot_every > 0 && epoch mod s.snapshot_every = 0 then
+      Store.append s.store
+        (Frame.encode_page
+           {
+             Frame.pf_run_id = run_id;
+             pf_key = Printf.sprintf "rib:full:%d" epoch;
+             pf_blob = Engine.rib_full eng;
+           })
+  end;
   (* Rows first, then the epoch record: the epoch record is the commit
      mark, so a crash between the two leaves an ignorable orphan. *)
   Store.append s.store
@@ -140,6 +187,7 @@ let resume ?(quiet = false) ~dir ~engine ~apply () =
         | Ok (Frame.Epoch er) when er.er_run_id = run_id -> Some er
         | Ok (Frame.Rows rf) when rf.Frame.rf_run_id = run_id -> None
         | Ok (Frame.Index f) when f.Frame.if_run_id = run_id -> None
+        | Ok (Frame.Page pf) when pf.Frame.pf_run_id = run_id -> None
         | Ok _ ->
             foreign := true;
             incr decode_dropped;

@@ -43,10 +43,25 @@ val decode_epoch : string -> (epoch_record, string) result
 
 type session
 
-val start : ?fsync:bool -> ?snapshot_every:int -> dir:string -> unit -> session
+val start :
+  ?fsync:bool -> ?snapshot_every:int -> ?page:bool -> dir:string -> unit ->
+  session
 (** Open [dir] for appending.  [snapshot_every] (default 1) epochs per
     full snapshot; [0] disables snapshots (journal-only, resume then
-    replays from epoch 1). *)
+    replays from epoch 1).  [page] (default [false]) additionally journals
+    the delta-RIB plane: one {!Pvr_query.Frame.Page} frame of
+    {!Engine.rib_changes} per recorded epoch (key ["rib:delta:<epoch>"])
+    and one full tracker image ({!Engine.rib_full}, key
+    ["rib:full:<epoch>"]) on the snapshot cadence — both appended before
+    the epoch record so the commit mark covers them. *)
+
+val pager : session -> run_id:string -> Engine.pager
+(** The session's WAL as an {!Engine.pager}: appended pages become tag-4
+    journal frames addressed by byte offset (stable for the life of the
+    journal — recovery only ever truncates the tail), and reads CRC-check
+    the frame and validate [run_id] before handing the blob back.  Install
+    with {!Engine.set_pager} to let the governor spill vertex state into
+    the same torn-tail-safe store the evidence plane lives in. *)
 
 val record : session -> Engine.t -> Engine.epoch_report -> unit
 (** Journal one completed epoch; snapshot if the cadence says so. *)

@@ -7,6 +7,12 @@ let tag_epoch = 1
 let tag_rows = 2
 let tag_index = 3
 
+(* Tag 4 is the engine's spill layer: one cold (prover,prefix) vertex
+   state paged out to the journal.  Pages are read back by byte offset
+   ([Store.read_frame_at]), never replayed — the index builder and resume
+   filter skip them by tag. *)
+let tag_page = 4
+
 type epoch_record = {
   er_epoch : int;
   er_period : int;
@@ -24,11 +30,13 @@ type epoch_record = {
 
 type rows_frame = { rf_run_id : string; rf_epoch : int; rf_rows : Row.t list }
 type index_frame = { if_run_id : string; if_epoch : int; if_blob : string }
+type page_frame = { pf_run_id : string; pf_key : string; pf_blob : string }
 
 type record =
   | Epoch of epoch_record
   | Rows of rows_frame
   | Index of index_frame
+  | Page of page_frame
 
 let tag payload =
   if String.length payload < 4 then None
@@ -117,12 +125,27 @@ let read_index r =
   let if_blob = Codec.get_str r in
   { if_run_id; if_epoch; if_blob }
 
+let encode_page f =
+  let buf = Buffer.create (String.length f.pf_blob + 64) in
+  Codec.u32 buf tag_page;
+  Codec.str buf f.pf_run_id;
+  Codec.str buf f.pf_key;
+  Codec.str buf f.pf_blob;
+  Buffer.contents buf
+
+let read_page r =
+  let pf_run_id = Codec.get_str r in
+  let pf_key = Codec.get_str r in
+  let pf_blob = Codec.get_str r in
+  { pf_run_id; pf_key; pf_blob }
+
 let decode payload =
   Codec.decode payload (fun r ->
       let t = Codec.get_u32 r in
       if t = tag_epoch then Epoch (read_epoch r)
       else if t = tag_rows then Rows (read_rows r)
       else if t = tag_index then Index (read_index r)
+      else if t = tag_page then Page (read_page r)
       else raise (Codec.Malformed ("unknown journal tag " ^ string_of_int t)))
 
 (* Header-only peek for the index builder's discovery pass: run id and

@@ -15,7 +15,11 @@
     - tag [3] — an {!Evidence_index} checkpoint: the serialized index
       covering every committed epoch up to [if_epoch].  Purely an
       accelerator; the builder falls back to scanning rows frames when
-      absent or stale. *)
+      absent or stale.
+    - tag [4] — a spill page: one cold (prover,prefix) vertex state the
+      engine paged out to the journal.  Pages are addressed by byte
+      offset ({!Pvr_store.Store.read_frame_at}), never replayed; the
+      index builder and the resume filter skip them by tag. *)
 
 type epoch_record = {
   er_epoch : int;
@@ -34,15 +38,18 @@ type epoch_record = {
 
 type rows_frame = { rf_run_id : string; rf_epoch : int; rf_rows : Row.t list }
 type index_frame = { if_run_id : string; if_epoch : int; if_blob : string }
+type page_frame = { pf_run_id : string; pf_key : string; pf_blob : string }
 
 type record =
   | Epoch of epoch_record
   | Rows of rows_frame
   | Index of index_frame
+  | Page of page_frame
 
 val tag_epoch : int
 val tag_rows : int
 val tag_index : int
+val tag_page : int
 
 val tag : string -> int option
 (** The leading u32 of a payload, if it has one. *)
@@ -54,6 +61,7 @@ val decode_epoch : string -> (epoch_record, string) result
 
 val encode_rows : rows_frame -> string
 val encode_index : index_frame -> string
+val encode_page : page_frame -> string
 
 val decode : string -> (record, string) result
 (** Decode any tagged payload. *)

@@ -6,6 +6,7 @@ let c_journal_appends = Pvr_obs.counter "store.journal.appends"
 let c_snapshot_writes = Pvr_obs.counter "store.snapshot.writes"
 let c_replay_frames = Pvr_obs.counter "store.replay.frames"
 let c_corrupt_dropped = Pvr_obs.counter "store.corrupt.dropped"
+let c_frame_reads = Pvr_obs.counter "store.frame.reads"
 
 let journal_magic = "PVRJ"
 let snapshot_magic = "PVRS"
@@ -57,7 +58,12 @@ let parse_frame ~magic src off =
     end
   end
 
-type t = { dir : string; fsync : bool; mutable oc : Out_channel.t option }
+type t = {
+  dir : string;
+  fsync : bool;
+  mutable oc : Out_channel.t option;
+  mutable pos : int;
+}
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
@@ -71,24 +77,69 @@ let open_ ?(fsync = true) ~dir () =
       [ Open_wronly; Open_append; Open_creat; Open_binary ]
       0o644 (journal_path ~dir)
   in
-  { dir; fsync; oc = Some oc }
+  let pos =
+    match Unix.stat (journal_path ~dir) with
+    | { Unix.st_size; _ } -> st_size
+    | exception Unix.Unix_error _ -> 0
+  in
+  { dir; fsync; oc = Some oc; pos }
 
 let channel t =
   match t.oc with
   | Some oc -> oc
   | None -> invalid_arg "Store: closed"
 
-let append t payload =
+(* Append one frame and return the journal byte offset its header starts
+   at — the stable address pages are later read back from. *)
+let append' t payload =
   let oc = channel t in
   let fr = frame ~magic:journal_magic ~kind:kind_epoch payload in
+  let off = t.pos in
   Out_channel.output_string oc fr;
   Out_channel.flush oc;
   if t.fsync then begin
     Unix.fsync (Unix.descr_of_out_channel oc);
     Pvr_obs.incr c_fsync
   end;
+  t.pos <- t.pos + String.length fr;
   Pvr_obs.incr c_journal_appends;
-  Pvr_obs.add c_journal_bytes (String.length fr)
+  Pvr_obs.add c_journal_bytes (String.length fr);
+  off
+
+let append t payload = ignore (append' t payload)
+
+(* Random-access read of the single frame whose header starts at [off].
+   Same validation as the streaming walk (magic/version/kind/len/CRC);
+   any mangled byte comes back as [Error], never an exception or a torn
+   payload — callers treat a failed page read as a cache miss. *)
+let read_frame_at ~dir ~off =
+  match In_channel.open_bin (journal_path ~dir) with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () ->
+          match In_channel.seek ic (Int64.of_int off) with
+          | exception Sys_error e -> Error e
+          | () -> (
+              let hdr = Bytes.create header_len in
+              match In_channel.really_input ic hdr 0 header_len with
+              | None -> Error "short frame"
+              | Some () ->
+                  let hdr = Bytes.to_string hdr in
+                  let len = BU.read_be32 hdr 6 in
+                  if len > max_payload then Error "truncated payload"
+                  else
+                    let rest = Bytes.create (len + 4) in
+                    (match In_channel.really_input ic rest 0 (len + 4) with
+                    | None -> Error "short frame"
+                    | Some () -> (
+                        let src = hdr ^ Bytes.to_string rest in
+                        match parse_frame ~magic:journal_magic src 0 with
+                        | Ok (payload, _) ->
+                            Pvr_obs.incr c_frame_reads;
+                            Ok payload
+                        | Error _ as e -> e))))
 
 let write_snapshot t ~epoch payload =
   let fr = frame ~magic:snapshot_magic ~kind:kind_snapshot payload in

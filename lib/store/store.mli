@@ -40,6 +40,20 @@ val append : t -> string -> unit
 (** Append one journal frame with the given payload and flush it
     (+fsync when enabled). *)
 
+val append' : t -> string -> int
+(** Like {!append}, but return the journal byte offset the frame's header
+    starts at.  The offset is stable for the life of the journal (recovery
+    only ever truncates the tail), so it can be stored and later passed to
+    {!read_frame_at} — this is the paging primitive the engine's spill
+    layer builds on. *)
+
+val read_frame_at : dir:string -> off:int -> (string, string) result
+(** Read back the single frame whose header starts at byte [off] of the
+    journal, re-validating magic, version, kind, length and CRC.  Returns
+    the payload, or [Error reason] for any torn, mangled, or out-of-range
+    frame.  Never raises.  Each successful read bumps
+    ["store.frame.reads"]. *)
+
 val write_snapshot : t -> epoch:int -> string -> unit
 (** Atomically (re)write the snapshot file for [epoch]. *)
 

@@ -19,9 +19,10 @@ let suites =
     ("query", Test_query.suite);
     ("scale", Test_scale.suite);
     ("adversary", Test_adversary.suite);
+    ("mem", Test_mem.suite);
   ]
 
-let expected_tests = 430
+let expected_tests = 444
 
 let () =
   let total = List.fold_left (fun n (_, s) -> n + List.length s) 0 suites in

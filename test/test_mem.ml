@@ -1,0 +1,426 @@
+(* Memory-governor and delta-RIB tests: Rib_delta blob round-trips and
+   full+delta replay, the incremental-vs-oracle RIB digest equivalence,
+   streaming churn twins, the spill layer's digest invariance across
+   ceiling x jobs x cache (including a pager that always fails reads),
+   governor staging counters, tag-4 page frames, random-access journal
+   reads, the 10k-AS generated-topology tier histogram, and the CLI's
+   --spill/--mem-ceiling and crashsoak spill kill-point contracts. *)
+
+module E = Pvr_engine.Engine
+module G = Pvr_bgp
+module C = Pvr_crypto
+module N = Pvr_net
+module S = Pvr_store.Store
+module Frame = Pvr_query.Frame
+module RD = G.Rib_delta
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let counted = Test_engine.counted
+let delta = Test_engine.delta
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pvr-test-mem-%d-%d" (Unix.getpid ()) !n)
+
+let rm_rf dir =
+  try
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* ---- Rib_delta tracker ---------------------------------------------------------- *)
+
+let asn = G.Asn.of_int
+let pfx i = G.Prefix.make ~addr:((10 lsl 24) lor (i lsl 8)) ~len:24
+
+(* Seeded random tracker mutations: inserts, overwrites and removals over a
+   small (AS, prefix) universe so collisions and deletions are common. *)
+let mutate rng t n =
+  for _ = 1 to n do
+    let a = asn (1 + C.Drbg.uniform_int rng 20) in
+    let p = pfx (C.Drbg.uniform_int rng 40) in
+    let entry =
+      if C.Drbg.uniform_int rng 4 = 0 then ""
+      else Printf.sprintf "entry-%d" (C.Drbg.uniform_int rng 8)
+    in
+    ignore (RD.update t ~asn:a ~prefix:p ~entry : bool)
+  done
+
+let tracker_of_seed seed n =
+  let t = RD.create () in
+  mutate (C.Drbg.of_int_seed seed) t n;
+  t
+
+let rib_delta_full_roundtrip =
+  qtest "rib_delta: full blob round-trips"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let t = tracker_of_seed seed 60 in
+      match RD.decode_full (RD.encode_full t) with
+      | Error _ -> false
+      | Ok t' -> RD.digest t' = RD.digest t && RD.pairs t' = RD.pairs t)
+
+let rib_delta_delta_roundtrip =
+  qtest "rib_delta: delta blob round-trips"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let t = tracker_of_seed seed 60 in
+      let changes = RD.drain_changes t in
+      match RD.decode_delta (RD.encode_delta changes) with
+      | Ok changes' -> changes' = changes
+      | Error _ -> false)
+
+let rib_delta_decoders_never_raise =
+  qtest ~count:60 "rib_delta: decoders never raise on mangled blobs"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = C.Drbg.of_int_seed seed in
+      let t = tracker_of_seed (seed + 1) 30 in
+      let full = N.Fuzz.mangle rng (RD.encode_full t) in
+      let dl = N.Fuzz.mangle rng (RD.encode_delta (RD.drain_changes t)) in
+      (match RD.decode_full full with Ok _ | Error _ -> true)
+      && match RD.decode_delta dl with Ok _ | Error _ -> true)
+
+let rib_delta_replay_reconstructs () =
+  (* The journal shape: one full blob, then a stream of deltas.  Replaying
+     them onto a fresh tracker must land on the live tracker's digest. *)
+  let rng = C.Drbg.of_int_seed 9917 in
+  let live = RD.create () in
+  mutate rng live 80;
+  let full = RD.encode_full live in
+  ignore (RD.drain_changes live : RD.change list);
+  let deltas =
+    List.init 4 (fun _ ->
+        mutate rng live 40;
+        RD.encode_delta (RD.drain_changes live))
+  in
+  let rebuilt =
+    match RD.decode_full full with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun blob ->
+      match RD.decode_delta blob with
+      | Ok cs -> RD.apply rebuilt cs
+      | Error e -> Alcotest.fail e)
+    deltas;
+  check_string "replayed digest" (RD.digest live) (RD.digest rebuilt);
+  check_int "replayed pairs" (RD.pairs live) (RD.pairs rebuilt)
+
+(* ---- engine world with governor knobs -------------------------------------------- *)
+
+(* Same world as Test_engine.run_engine / Test_store.mk_world, driven by
+   the *streaming* churn twins (their DRBG equivalence makes digests
+   comparable with every other suite's runs), with optional ceiling and
+   pager so the governor's shedding stages can be forced. *)
+let run_mem ?(jobs = 1) ?(cache = true) ?(ceiling = 0) ?pager ?(epochs = 4)
+    ?(per_epoch = fun _ _ -> ()) seed =
+  let topo = Lazy.force Test_engine.etopo in
+  let sim = G.Simulator.create topo in
+  let origins =
+    List.sort (fun a b -> G.Asn.compare b a) (G.Topology.ases topo)
+    |> List.filteri (fun i _ -> i < 2)
+    |> List.rev
+  in
+  let churn =
+    G.Update_gen.Churn.create ~anycast:2 ~origins ~prefixes_per_origin:2 ()
+  in
+  let churn_rng = C.Drbg.of_int_seed seed in
+  let eng =
+    E.create ~jobs ~cache ~salt_every:3 ~max_path_len:8
+      (C.Drbg.of_int_seed (seed + 1))
+      (Lazy.force Test_engine.ekeyring) ~topology:topo ~sim ()
+  in
+  E.set_mem_ceiling eng ceiling;
+  Option.iter (fun pg -> E.set_pager eng (Some pg)) pager;
+  let lines = ref [] in
+  for i = 1 to epochs do
+    let r =
+      E.epoch
+        ~apply:(fun sim ->
+          if i = 1 then G.Update_gen.Churn.seed_count churn sim
+          else G.Update_gen.Churn.step_count churn_rng ~turnover:0.3 churn sim)
+        eng
+    in
+    lines := E.report_line r :: !lines;
+    per_epoch eng r
+  done;
+  (eng, List.rev !lines)
+
+let rib_digest_matches_oracle () =
+  let checks = ref 0 in
+  let eng, _ =
+    run_mem 301
+      ~per_epoch:(fun eng _ ->
+        incr checks;
+        check_string
+          (Printf.sprintf "epoch %d incremental = from-scratch" !checks)
+          (E.rib_digest_full eng) (E.rib_digest eng))
+  in
+  check_int "every epoch checked" 4 !checks;
+  (* Spilling must not perturb the tracker either. *)
+  let eng', _ =
+    run_mem 301 ~ceiling:1 ~pager:(E.memory_pager ())
+      ~per_epoch:(fun eng _ ->
+        check_string "spilled incremental = oracle" (E.rib_digest_full eng)
+          (E.rib_digest eng))
+  in
+  check_string "same world, same tracker" (E.rib_digest eng) (E.rib_digest eng')
+
+let streaming_churn_equivalence () =
+  (* The list-building and streaming churn variants must consume the same
+     DRBG draws and leave the simulator in the same state. *)
+  let topo = Lazy.force Test_engine.etopo in
+  let origins =
+    List.sort (fun a b -> G.Asn.compare b a) (G.Topology.ases topo)
+    |> List.filteri (fun i _ -> i < 2)
+    |> List.rev
+  in
+  let fingerprint sim =
+    let t = RD.create () in
+    List.iter
+      (fun a ->
+        let rib = G.Simulator.rib sim a in
+        List.iter
+          (fun p ->
+            ignore
+              (RD.update t ~asn:a ~prefix:p ~entry:(G.Rib.prefix_entry rib p)
+                : bool))
+          (G.Rib.prefixes rib))
+      (G.Topology.ases topo);
+    RD.digest t
+  in
+  let run_variant streaming =
+    let sim = G.Simulator.create topo in
+    let churn =
+      G.Update_gen.Churn.create ~anycast:2 ~origins ~prefixes_per_origin:2 ()
+    in
+    let rng = C.Drbg.of_int_seed 555 in
+    let counts =
+      List.init 4 (fun i ->
+          let n =
+            if i = 0 then
+              if streaming then G.Update_gen.Churn.seed_count churn sim
+              else List.length (G.Update_gen.Churn.seed churn sim)
+            else if streaming then
+              G.Update_gen.Churn.step_count rng ~turnover:0.4 churn sim
+            else
+              List.length (G.Update_gen.Churn.step rng ~turnover:0.4 churn sim)
+          in
+          ignore (G.Simulator.run sim : int);
+          n)
+    in
+    (counts, fingerprint sim)
+  in
+  let counts_l, fp_l = run_variant false in
+  let counts_s, fp_s = run_variant true in
+  check_bool "batch sizes" true (counts_l = counts_s);
+  check_bool "non-trivial churn" true (List.exists (fun n -> n > 0) counts_l);
+  check_string "simulator state" fp_l fp_s
+
+let spill_differential () =
+  let eng0, lines0 = run_mem 303 in
+  let d0 = E.digest eng0 in
+  let r0 = E.rib_digest eng0 in
+  List.iter
+    (fun (jobs, cache) ->
+      let (eng, lines), d =
+        counted (fun () ->
+            run_mem ~jobs ~cache ~ceiling:1 ~pager:(E.memory_pager ()) 303)
+      in
+      let label = Printf.sprintf "(jobs=%d cache=%b)" jobs cache in
+      check_string ("digest " ^ label) d0 (E.digest eng);
+      check_string ("rib digest " ^ label) r0 (E.rib_digest eng);
+      (* Report lines are only stable across jobs; dirty/skipped reflect
+         the cache setting by design. *)
+      if cache then
+        List.iter2
+          (fun a b -> check_string ("report line " ^ label) a b)
+          lines0 lines;
+      check_bool ("spill engaged " ^ label) true
+        (delta d "engine.mem.spills" > 0);
+      check_int ("no page failures " ^ label) 0
+        (delta d "engine.mem.page_read_failures"))
+    [ (1, true); (4, true); (1, false) ]
+
+let governor_stages () =
+  (* Without a pager the governor can shed caches and throttle but never
+     spill; with one, spilling engages and pages are read back. *)
+  let (eng, _), d = counted (fun () -> run_mem ~ceiling:1 305) in
+  check_bool "cache drops" true (delta d "engine.mem.cache_drops" > 0);
+  check_bool "throttles" true (delta d "engine.mem.throttles" > 0);
+  check_int "no pager, no spills" 0 (delta d "engine.mem.spills");
+  check_int "no pager, all resident" 0 (E.spilled_states eng);
+  check_bool "states tracked" true (E.resident_states eng > 0);
+  let (eng2, _), d2 =
+    counted (fun () -> run_mem ~ceiling:1 ~pager:(E.memory_pager ()) 305)
+  in
+  check_bool "spills" true (delta d2 "engine.mem.spills" > 0);
+  check_bool "page reads" true (delta d2 "engine.mem.page_reads" > 0);
+  check_bool "states spilled" true (E.spilled_states eng2 > 0);
+  check_string "digest unperturbed" (E.digest eng) (E.digest eng2)
+
+let page_read_failure_recomputes () =
+  (* A pager whose reads always fail: every unspill degrades to a dirty
+     recomputation, which purity makes byte-identical. *)
+  let broken =
+    { E.pg_append = (fun ~key:_ ~blob:_ -> 0);
+      pg_read = (fun ~off:_ -> Error "page lost") }
+  in
+  let eng0, _ = run_mem 307 in
+  let (eng, _), d = counted (fun () -> run_mem ~ceiling:1 ~pager:broken 307) in
+  check_string "digest" (E.digest eng0) (E.digest eng);
+  check_bool "failures counted" true
+    (delta d "engine.mem.page_read_failures" > 0)
+
+(* ---- page frames and random-access journal reads -------------------------------- *)
+
+let frame_page_roundtrip =
+  qtest "frame: page round-trips; mangled never raises"
+    QCheck2.Gen.(triple string string string)
+    (fun (run_id, key, blob) ->
+      let pf = { Frame.pf_run_id = run_id; pf_key = key; pf_blob = blob } in
+      let enc = Frame.encode_page pf in
+      (match Frame.decode enc with
+      | Ok (Frame.Page pf') -> pf' = pf
+      | Ok _ | Error _ -> false)
+      &&
+      let rng = C.Drbg.of_int_seed (String.length blob + String.length key) in
+      match Frame.decode (N.Fuzz.mangle rng enc) with
+      | Ok _ | Error _ -> true)
+
+let read_frame_at_random_access () =
+  with_dir (fun dir ->
+      let st = S.open_ ~fsync:false ~dir () in
+      let payloads = [ "alpha"; "beta"; String.make 300 'x' ] in
+      let offs = List.map (fun p -> (p, S.append' st p)) payloads in
+      S.close st;
+      (* Every offset reads back its exact payload, in any order. *)
+      List.iter
+        (fun (p, off) ->
+          match S.read_frame_at ~dir ~off with
+          | Ok p' -> check_string "payload" p p'
+          | Error e -> Alcotest.fail e)
+        (List.rev offs);
+      (* A reopened store appends at the right offset. *)
+      let st2 = S.open_ ~fsync:false ~dir () in
+      let off4 = S.append' st2 "gamma" in
+      S.close st2;
+      (match S.read_frame_at ~dir ~off:off4 with
+      | Ok p -> check_string "post-reopen payload" "gamma" p
+      | Error e -> Alcotest.fail e);
+      (* Corrupt one payload byte: the CRC refuses the frame. *)
+      let jp = S.journal_path ~dir in
+      let full = read_file jp in
+      let _, off1 = List.nth offs 1 in
+      let b = Bytes.of_string full in
+      Bytes.set b (off1 + 10) 'Z';
+      write_file jp (Bytes.to_string b);
+      (match S.read_frame_at ~dir ~off:off1 with
+      | Ok _ -> Alcotest.fail "corrupt frame must not read back"
+      | Error _ -> ());
+      (* An offset pointing into a torn tail errors instead of raising. *)
+      match S.read_frame_at ~dir ~off:(String.length full - 3) with
+      | Ok _ -> Alcotest.fail "torn tail must not read back"
+      | Error _ -> ())
+
+(* ---- 10k-AS topology generation -------------------------------------------------- *)
+
+let topology_10k_histogram () =
+  (* Seeded regression: generation is near-linear (this would time out
+     quadratically at 10k), and the preferential-attachment tier shape is
+     pinned so the generator's DRBG stream never drifts. *)
+  let topo = G.Topology.generate (C.Drbg.of_int_seed 4242) ~ases:10_000 () in
+  check_int "size" 10_000 (G.Topology.size topo);
+  check_int "links" 15486 (List.length (G.Topology.links topo));
+  let hist = Hashtbl.create 8 in
+  G.Asn.Map.iter
+    (fun _ tier ->
+      Hashtbl.replace hist tier
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist tier)))
+    (G.Topology.tiers topo);
+  List.iter
+    (fun (tier, want) ->
+      check_int
+        (Printf.sprintf "tier %d population" tier)
+        want
+        (Option.value ~default:0 (Hashtbl.find_opt hist tier)))
+    [
+      (0, 16); (1, 1377); (2, 3222); (3, 3276); (4, 1555); (5, 454); (6, 87);
+      (7, 11); (8, 1); (9, 1);
+    ]
+
+(* ---- CLI ------------------------------------------------------------------------- *)
+
+let cli = "../bin/pvr_cli.exe"
+
+let run_cli args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" cli args)
+
+let cli_spill_digest_matches () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let rep n = Filename.concat dir n in
+      check_int "unbounded run" 0
+        (run_cli
+           (Printf.sprintf
+              "engine --seed 7 --epochs 3 --tiers 1,2 --origins 2 --report %s"
+              (rep "a.json")));
+      check_int "spill run under a 1-word ceiling" 0
+        (run_cli
+           (Printf.sprintf
+              "engine --seed 7 --epochs 3 --tiers 1,2 --origins 2 --spill \
+               --mem-ceiling 1 --report %s"
+              (rep "b.json")));
+      check_string "identical run reports" (read_file (rep "a.json"))
+        (read_file (rep "b.json")))
+
+let cli_crashsoak_spill () =
+  (* Seed 37's schedule (with the spill phase pool) kills inside the
+     governor's spill barrier at epoch 1; recovery must still be
+     byte-identical. *)
+  check_int "crashsoak with spill kill points" 0
+    (run_cli
+       "crashsoak --seed 37 --epochs 6 --kills 3 --spill --mem-ceiling 1 \
+        --no-corrupt")
+
+let suite =
+  [
+    rib_delta_full_roundtrip;
+    rib_delta_delta_roundtrip;
+    rib_delta_decoders_never_raise;
+    ("rib_delta: full+delta replay reconstructs", `Quick,
+     rib_delta_replay_reconstructs);
+    ("rib digest: incremental equals oracle", `Quick, rib_digest_matches_oracle);
+    ("churn: streaming twins match list twins", `Quick,
+     streaming_churn_equivalence);
+    ("spill differential: ceiling x jobs x cache", `Quick, spill_differential);
+    ("governor: shedding stages and counters", `Quick, governor_stages);
+    ("governor: failed page reads recompute", `Quick,
+     page_read_failure_recomputes);
+    frame_page_roundtrip;
+    ("store: random-access frame reads", `Quick, read_frame_at_random_access);
+    ("topology: 10k-AS generation histogram", `Quick, topology_10k_histogram);
+    ("cli: --spill digest matches unbounded", `Quick, cli_spill_digest_matches);
+    ("cli: crashsoak survives spill kill points", `Slow, cli_crashsoak_spill);
+  ]
