@@ -1115,6 +1115,21 @@ let e13 () =
   Printf.printf "%6s %5s  %10s  %10s  %8s  %8s\n" "ases" "jobs" "run ms"
     "ms/epoch" "dirty" "msgs";
   let epochs = 4 in
+  (* Per-domain utilization as published by the pool after each round:
+     cumulative busy/idle microseconds and task counts per resident worker.
+     Contention shows up here as busy-time skew or idle-time blowup even
+     when single-core wall-clock cannot show a speedup. *)
+  let pool_domain_gauges () =
+    let prefix = "engine.pool.domain." in
+    let plen = String.length prefix in
+    let gs =
+      List.filter
+        (fun (name, _) ->
+          String.length name >= plen && String.sub name 0 plen = prefix)
+        (Obs.Snapshot.gauges (Obs.Snapshot.capture ()))
+    in
+    J.Obj (List.map (fun (n, v) -> (n, J.Int v)) gs)
+  in
   let scaling =
     List.concat_map
       (fun ases ->
@@ -1130,14 +1145,17 @@ let e13 () =
               (ms /. float_of_int epochs)
               dirty msgs;
             J.Obj
-              [
-                ("ases", J.Int ases);
-                ("jobs", J.Int jobs);
-                ("ms_per_run", J.Float ms);
-                ("ms_per_epoch", J.Float (ms /. float_of_int epochs));
-                ("dirty", J.Int dirty);
-                ("msgs", J.Int msgs);
-              ])
+              ([
+                 ("ases", J.Int ases);
+                 ("jobs", J.Int jobs);
+                 ("ms_per_run", J.Float ms);
+                 ("ms_per_epoch", J.Float (ms /. float_of_int epochs));
+                 ("dirty", J.Int dirty);
+                 ("msgs", J.Int msgs);
+               ]
+              @
+              if jobs > 1 then [ ("pool_domains", pool_domain_gauges ()) ]
+              else []))
           [ 1; 2 ])
       [ 100; 300; 1000 ]
   in
@@ -1680,6 +1698,165 @@ let e15 () =
       ("queries", J.List jrows);
     ]
 
+(* ---- E17: serving traffic: concurrent sessions against one daemon --------------- *)
+
+let e17 () =
+  header "E17  serve: concurrent verification sessions over one daemon";
+  let module S = Pvr_serve.Server in
+  let module Cl = Pvr_serve.Client in
+  let module W = Pvr_serve.Workload in
+  let module Pr = Pvr_serve.Protocol in
+  let sessions = 100 in
+  let distinct_seeds = 8 in
+  let epochs = 3 in
+  let params seed =
+    {
+      W.defaults with
+      W.p_seed = seed;
+      p_tiers = "1,2";
+      p_origins = 2;
+      p_epochs = epochs;
+    }
+  in
+  (* Batch oracle: one engine run per distinct seed; every streamed
+     session must land byte-identically on one of these digests. *)
+  let batch =
+    Array.init distinct_seeds (fun i ->
+        let p = params (7000 + i) in
+        let w = W.build_world ~quiet:true p in
+        match W.engine_core ~quiet:true w p with
+        | Ok (d, _) -> d
+        | Error e -> failwith ("e17 batch oracle: " ^ e))
+  in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pvr-bench-e17-%d.sock" (Unix.getpid ()))
+  in
+  let workers = 4 and queue_cap = 16 in
+  let srv =
+    S.start { (S.default_config (S.Unix_sock path)) with workers; queue_cap }
+  in
+  (* A client burst can outrun the accept loop's backlog: retry briefly. *)
+  let connect () =
+    let rec go tries =
+      match Cl.connect (S.Unix_sock path) with
+      | c -> c
+      | exception Unix.Unix_error _ when tries < 100 ->
+          Unix.sleepf 0.02;
+          go (tries + 1)
+    in
+    go 0
+  in
+  let mu = Mutex.create () in
+  let latencies = ref [] in
+  (* seconds between successive verdict frames *)
+  let updates = ref 0 and verdicts = ref 0 and busy_retries = ref 0 in
+  let mismatches = ref 0 in
+  let heap0 = (Gc.quick_stat ()).Gc.heap_words in
+  let peak_heap = ref heap0 and peak_queue = ref 0 in
+  let stop_mon = ref false in
+  let monitor =
+    Thread.create
+      (fun () ->
+        while not !stop_mon do
+          let q = Obs.gauge_read (Obs.gauge "serve.queue.depth") in
+          if q > !peak_queue then peak_queue := q;
+          let h = (Gc.quick_stat ()).Gc.heap_words in
+          if h > !peak_heap then peak_heap := h;
+          Unix.sleepf 0.01
+        done)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init sessions (fun i ->
+        Thread.create
+          (fun () ->
+            let seed_ix = i mod distinct_seeds in
+            let c = connect () in
+            Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+            match Cl.open_session c (params (7000 + seed_ix)) with
+            | Error e -> failwith ("e17 open_session: " ^ e)
+            | Ok id ->
+                (* Busy is the daemon's explicit backpressure: back off and
+                   retry until admitted (the whole point of the bound is
+                   that the caller owns the retry policy). *)
+                let rec go tries =
+                  let last = ref (Unix.gettimeofday ()) in
+                  match
+                    Cl.run_epochs
+                      ~on_verdict:(fun v ->
+                        let now = Unix.gettimeofday () in
+                        Mutex.lock mu;
+                        latencies := (now -. !last) :: !latencies;
+                        updates := !updates + v.Pr.v_changes;
+                        incr verdicts;
+                        Mutex.unlock mu;
+                        last := now)
+                      c id
+                  with
+                  | Ok (d, _) ->
+                      if d <> batch.(seed_ix) then begin
+                        Mutex.lock mu;
+                        incr mismatches;
+                        Mutex.unlock mu
+                      end
+                  | Error "busy" when tries < 600 ->
+                      Mutex.lock mu;
+                      incr busy_retries;
+                      Mutex.unlock mu;
+                      Unix.sleepf 0.05;
+                      go (tries + 1)
+                  | Error e -> failwith ("e17 run_epochs: " ^ e)
+                in
+                go 0)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  stop_mon := true;
+  Thread.join monitor;
+  S.stop srv;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let lats = List.sort compare !latencies in
+  let n_lat = List.length lats in
+  let pct p =
+    if n_lat = 0 then 0.0
+    else List.nth lats (min (n_lat - 1) (int_of_float (p *. float_of_int n_lat)))
+  in
+  let p50 = pct 0.50 *. 1000.0 and p95 = pct 0.95 *. 1000.0 in
+  assert (!mismatches = 0);
+  assert (!verdicts = sessions * epochs);
+  assert (!peak_queue <= queue_cap);
+  Printf.printf
+    "%d sessions x %d epochs in %.1fs: %.1f sessions/s, %.1f updates/s, \
+     verdict p50=%.1fms p95=%.1fms, busy retries=%d, peak queue=%d (cap %d), \
+     peak heap=%.1f MB\n%!"
+    sessions epochs wall
+    (float_of_int sessions /. wall)
+    (float_of_int !updates /. wall)
+    p50 p95 !busy_retries !peak_queue queue_cap
+    (float_of_int (!peak_heap * 8) /. 1e6);
+  J.Obj
+    [
+      ("sessions", J.Int sessions);
+      ("epochs_per_session", J.Int epochs);
+      ("distinct_seeds", J.Int distinct_seeds);
+      ("workers", J.Int workers);
+      ("queue_cap", J.Int queue_cap);
+      ("wall_s", J.Float wall);
+      ("sessions_per_s", J.Float (float_of_int sessions /. wall));
+      ("updates_per_s", J.Float (float_of_int !updates /. wall));
+      ("verdicts", J.Int !verdicts);
+      ("verdict_p50_ms", J.Float p50);
+      ("verdict_p95_ms", J.Float p95);
+      ("busy_retries", J.Int !busy_retries);
+      ("peak_queue_depth", J.Int !peak_queue);
+      ("peak_heap_mb", J.Float (float_of_int (!peak_heap * 8) /. 1e6));
+      ("digest_matches_batch", J.Bool (!mismatches = 0));
+    ]
+
 (* ---- Bechamel: one Test.make per experiment ------------------------------------- *)
 
 let bechamel_tests () =
@@ -1801,6 +1978,7 @@ let () =
       ("e14_adversary_zoo", e14);
       ("e15_query", e15);
       ("e16_memory", e16);
+      ("e17_serve", e17);
       ("bechamel", run_bechamel);
     ]
   in

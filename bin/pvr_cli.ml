@@ -213,7 +213,14 @@ let run_soak seed rounds k bits drop duplicate delay reorder budget stats =
    the cache on or off.  With --checkpoint the run journals every epoch and
    snapshots on a cadence, and --resume continues a crashed run. *)
 
-type eparams = {
+(* The engine parameter record, world construction and the epoch loop are
+   factored into {!Pvr_serve.Workload} so that daemon sessions (`pvr
+   serve`) and these batch commands run the identical code path — the
+   serve-vs-batch digest differential holds by construction.  The type
+   equation re-exports the record so the flag terms below construct it
+   literally. *)
+
+type eparams = Pvr_serve.Workload.params = {
   p_seed : int;
   p_tiers : string;
   p_peering : float;
@@ -236,191 +243,8 @@ type eparams = {
   p_spill : bool; (* page cold vertex state out through the store *)
 }
 
-type world = {
-  w_topo : G.Topology.t;
-  w_keyring : P.Keyring.t;
-  w_churn : G.Update_gen.Churn.t;
-  w_churn_rng : C.Drbg.t;
-  w_engine_rng : C.Drbg.t;
-}
-
-(* Deterministic world construction.  The split order on the master DRBG —
-   "topology", "keys", "churn", "engine" — is part of the on-disk contract:
-   a resumed run replays the same streams, so it must never change. *)
-let build_world ?(quiet = false) p =
-  G.Intern.set_enabled p.p_intern;
-  let master = C.Drbg.of_int_seed p.p_seed in
-  let topo =
-    if p.p_ases > 0 then
-      (* Power-law internet.  --gen-seed decouples the topology from the
-         run seed (same internet, different salts/churn); without it the
-         topology comes from the master stream like the hierarchy does. *)
-      let gen_rng =
-        match p.p_gen_seed with
-        | Some s -> C.Drbg.of_int_seed s
-        | None -> C.Drbg.split master "topology"
-      in
-      G.Topology.generate gen_rng ~extra_peering:p.p_peering ~ases:p.p_ases ()
-    else
-      let tiers =
-        List.map int_of_string (String.split_on_char ',' p.p_tiers)
-      in
-      G.Topology.hierarchy
-        (C.Drbg.split master "topology")
-        ~tiers ~extra_peering:p.p_peering
-  in
-  let ases = G.Topology.ases topo in
-  if not quiet then begin
-    Printf.printf
-      "engine: %d ASes, %d links; seed=%d epochs=%d jobs=%d shards=%d \
-       cache=%b intern=%b salt_every=%d turnover=%.2f\n%!"
-      (G.Topology.size topo)
-      (List.length (G.Topology.links topo))
-      p.p_seed p.p_epochs p.p_jobs p.p_shards p.p_cache p.p_intern
-      p.p_salt_every p.p_turnover;
-    Printf.printf "Generating %d RSA-%d keys...\n%!" (List.length ases) p.p_bits
-  end;
-  let keyring =
-    P.Keyring.create ~bits:p.p_bits (C.Drbg.split master "keys") ases
-  in
-  (* Churn origins: the highest-numbered (bottom-tier) ASes. *)
-  let origin_list =
-    let sorted = List.sort (fun a b -> G.Asn.compare b a) ases in
-    List.filteri (fun i _ -> i < p.p_origins) sorted |> List.rev
-  in
-  let churn =
-    G.Update_gen.Churn.create ~anycast:p.p_anycast ~origins:origin_list
-      ~prefixes_per_origin:p.p_ppo ()
-  in
-  let churn_rng = C.Drbg.split master "churn" in
-  let engine_rng = C.Drbg.split master "engine" in
-  {
-    w_topo = topo;
-    w_keyring = keyring;
-    w_churn = churn;
-    w_churn_rng = churn_rng;
-    w_engine_rng = engine_rng;
-  }
-
-(* One engine run over a pre-built world.  [on_phase ~epoch phase] fires at
-   the epoch's internal barriers ("apply"/"collect"/"verify") and after the
-   journal write ("record") — the crash-soak kill hook.  Returns the final
-   digest and total convictions, or [Error] when the checkpoint store is
-   unrecoverable. *)
-let engine_core ?(quiet = false) ?(on_phase = fun ~epoch:_ (_ : string) -> ())
-    ?checkpoint_dir ?(resume = false) ?(checkpoint_every = 1) ?(fsync = true)
-    world p =
-  let sim = G.Simulator.create world.w_topo in
-  (* The engine never reads the simulator's message log, and at 10k+ ASes
-     it is the single largest allocation of a run — keep it off. *)
-  G.Simulator.set_log_enabled sim false;
-  let faults =
-    if p.p_drop > 0.0 then
-      Some
-        {
-          P.Runner.perfect_faults with
-          fp_policy = Pvr_net.faulty ~drop:p.p_drop ();
-        }
-    else None
-  in
-  let eng =
-    Pvr_engine.Engine.create ~jobs:p.p_jobs ~shards:p.p_shards ~cache:p.p_cache
-      ~salt_every:p.p_salt_every ~strategy:p.p_strategy ?faults
-      world.w_engine_rng world.w_keyring ~topology:world.w_topo ~sim ()
-  in
-  let apply ~epoch sim =
-    if epoch = 1 then List.length (G.Update_gen.Churn.seed world.w_churn sim)
-    else
-      List.length
-        (G.Update_gen.Churn.step world.w_churn_rng ~turnover:p.p_turnover
-           world.w_churn sim)
-  in
-  let start =
-    match checkpoint_dir with
-    | None -> Ok 0
-    | Some dir ->
-        if resume then
-          match Pvr_engine.Persist.resume ~quiet ~dir ~engine:eng ~apply () with
-          | Ok rs ->
-              if not quiet then
-                Printf.printf
-                  "resumed: epoch=%d snapshot=%d replayed=%d dropped=%d\n%!"
-                  rs.Pvr_engine.Persist.rs_epoch rs.rs_snapshot_epoch
-                  rs.rs_replayed rs.rs_dropped;
-              Ok rs.Pvr_engine.Persist.rs_epoch
-          | Error e -> Error e
-        else begin
-          Pvr_store.Store.reset ~dir;
-          Ok 0
-        end
-  in
-  match start with
-  | Error e -> Error e
-  | Ok start ->
-      let session =
-        Option.map
-          (fun dir ->
-            Pvr_engine.Persist.start ~fsync ~snapshot_every:checkpoint_every
-              ~page:p.p_spill ~dir ())
-          checkpoint_dir
-      in
-      (* --spill without --checkpoint still needs a WAL to page into: a
-         scratch store under the temp dir, removed when the run ends. *)
-      let scratch_dir =
-        if p.p_spill && session = None then
-          Some
-            (Filename.concat
-               (Filename.get_temp_dir_name ())
-               (Printf.sprintf "pvr-spill-%d" (Unix.getpid ())))
-        else None
-      in
-      let scratch =
-        Option.map
-          (fun dir ->
-            Pvr_store.Store.reset ~dir;
-            Pvr_engine.Persist.start ~fsync:false ~snapshot_every:0 ~dir ())
-          scratch_dir
-      in
-      Pvr_engine.Engine.set_mem_ceiling eng p.p_mem_ceiling;
-      if p.p_spill then begin
-        let s =
-          match session with Some s -> s | None -> Option.get scratch
-        in
-        Pvr_engine.Engine.set_pager eng
-          (Some
-             (Pvr_engine.Persist.pager s
-                ~run_id:(Pvr_engine.Engine.Checkpoint.run_id eng)))
-      end;
-      let convicted = ref 0 in
-      Fun.protect
-        ~finally:(fun () ->
-          Option.iter Pvr_engine.Persist.close session;
-          Option.iter Pvr_engine.Persist.close scratch;
-          Option.iter
-            (fun dir ->
-              try
-                Array.iter
-                  (fun f -> Sys.remove (Filename.concat dir f))
-                  (Sys.readdir dir);
-                Unix.rmdir dir
-              with Sys_error _ | Unix.Unix_error _ -> ())
-            scratch_dir)
-        (fun () ->
-          for i = start + 1 to p.p_epochs do
-            let r =
-              Pvr_engine.Engine.epoch ~apply:(apply ~epoch:i)
-                ~on_phase:(fun ph -> on_phase ~epoch:i ph)
-                eng
-            in
-            if not quiet then print_endline (Pvr_engine.Engine.report_line r);
-            Option.iter
-              (fun s ->
-                Pvr_engine.Persist.record s eng r;
-                on_phase ~epoch:i "record")
-              session;
-            convicted := !convicted + r.Pvr_engine.Engine.ep_convicted
-          done);
-      Ok (Pvr_engine.Engine.digest eng, !convicted)
+let build_world = Pvr_serve.Workload.build_world
+let engine_core = Pvr_serve.Workload.engine_core
 
 let run_engine p checkpoint resume checkpoint_every no_fsync report stats =
   if resume && checkpoint = None then begin
@@ -1510,6 +1334,188 @@ let primitives_cmd =
     (Cmd.info "primitives" ~doc:"Time the §3.8 crypto primitives")
     Term.(const run_primitives $ bits $ stats_arg)
 
+(* ---- serve / drive ----------------------------------------------------------- *)
+
+(* `pvr serve` is the RVaaS deployment shape: a long-lived daemon
+   multiplexing concurrent prover sessions onto the engine's worker-domain
+   pool, streaming per-epoch verdicts over length-framed sockets with
+   bounded-queue backpressure.  `pvr drive` is its batch client — N
+   concurrent seeded sessions, one digest line each — used by the
+   serve-smoke CI job and the E17 bench. *)
+
+let parse_listen socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (Pvr_serve.Server.Unix_sock path)
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+          | Some port -> Ok (Pvr_serve.Server.Tcp (host, port))
+          | None -> Error "invalid --tcp PORT")
+      | None -> (
+          match int_of_string_opt spec with
+          | Some port -> Ok (Pvr_serve.Server.Tcp ("127.0.0.1", port))
+          | None -> Error "invalid --tcp spec (HOST:PORT or PORT)"))
+  | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+
+let run_serve socket tcp workers queue_cap store stats =
+  with_stats stats (fun () ->
+      match parse_listen socket tcp with
+      | Error msg ->
+          Printf.eprintf "pvr serve: %s\n%!" msg;
+          2
+      | Ok listen ->
+          let cfg =
+            {
+              Pvr_serve.Server.listen;
+              workers;
+              queue_cap;
+              store_dir = store;
+              quiet = false;
+            }
+          in
+          let srv = Pvr_serve.Server.start cfg in
+          let drain _ = Pvr_serve.Server.initiate_shutdown srv in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+          Pvr_serve.Server.wait srv;
+          0)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on TCP instead.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ]
+          ~doc:"Worker domains executing session verification (capped at 16).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 8
+      & info [ "queue-cap" ]
+          ~doc:
+            "Bounded admission queue: at most this many accepted work \
+             items may wait for a worker; further requests are refused \
+             with Busy immediately (explicit backpressure, never \
+             unbounded buffering).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Evidence store served to query requests (the pvr query \
+             language over the wire).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived verification daemon: multiplex concurrent prover \
+          sessions onto the engine's worker-domain pool, streaming \
+          per-epoch verdicts over length-framed sockets.  SIGTERM/SIGINT \
+          drain in-flight sessions cleanly before exit.")
+    Term.(const run_serve $ socket $ tcp $ workers $ queue_cap $ store $ stats_arg)
+
+let run_drive socket tcp sessions p stats =
+  with_stats stats (fun () ->
+      match parse_listen socket tcp with
+      | Error msg ->
+          Printf.eprintf "pvr drive: %s\n%!" msg;
+          2
+      | Ok listen ->
+          let results = Array.make sessions (Error "not run") in
+          let drive_one i =
+            let params = { p with p_seed = p.p_seed + i } in
+            match Pvr_serve.Client.connect listen with
+            | exception Unix.Unix_error (e, _, _) ->
+                results.(i) <- Error ("connect: " ^ Unix.error_message e)
+            | cl ->
+                Fun.protect
+                  ~finally:(fun () -> Pvr_serve.Client.close cl)
+                  (fun () ->
+                    (* Busy is backpressure, not failure: retry with a
+                       small delay until the daemon admits the run. *)
+                    let rec admitted tries =
+                      match Pvr_serve.Client.open_session cl params with
+                      | Ok id -> Ok id
+                      | Error "busy" when tries < 400 ->
+                          Unix.sleepf 0.05;
+                          admitted (tries + 1)
+                      | Error e -> Error e
+                    in
+                    let rec run_retry id tries =
+                      match Pvr_serve.Client.run_epochs cl id with
+                      | Error "busy" when tries < 400 ->
+                          Unix.sleepf 0.05;
+                          run_retry id (tries + 1)
+                      | r -> r
+                    in
+                    results.(i) <-
+                      (match admitted 0 with
+                      | Error e -> Error e
+                      | Ok id -> run_retry id 0))
+          in
+          let threads = Array.init sessions (fun i -> Thread.create drive_one i) in
+          Array.iter Thread.join threads;
+          let failed = ref 0 and convicted = ref 0 in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok (digest, conv) ->
+                  convicted := !convicted + conv;
+                  Printf.printf "session %d seed=%d digest=%s convicted=%d\n" i
+                    (p.p_seed + i) digest conv
+              | Error e ->
+                  incr failed;
+                  Printf.printf "session %d seed=%d ERROR %s\n" i (p.p_seed + i) e)
+            results;
+          if !failed > 0 then 3 else if !convicted > 0 then 1 else 0)
+
+let drive_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix socket to connect to.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Daemon TCP address to connect to.")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 3
+      & info [ "sessions" ]
+          ~doc:
+            "Concurrent sessions to drive; session $(i,i) runs the \
+             engine workload with seed $(b,--seed)+$(i,i).")
+  in
+  Cmd.v
+    (Cmd.info "drive"
+       ~doc:
+         "Drive N concurrent seeded sessions against a running pvr serve \
+          daemon and print one digest line per session — the digests \
+          match batch `pvr engine` runs of the same seeds exactly.")
+    Term.(const run_drive $ socket $ tcp $ sessions $ eparams_term $ stats_arg)
+
 let () =
   let info =
     Cmd.info "pvr" ~version:"1.0.0"
@@ -1524,6 +1530,8 @@ let () =
         crashsoak_cmd;
         adversary_cmd;
         query_cmd;
+        serve_cmd;
+        drive_cmd;
         check_cmd;
         topology_cmd;
         primitives_cmd;

@@ -14,9 +14,13 @@
     engine report digest is byte-identical with interning on or off (the
     differential-oracle test suite enforces exactly this).
 
-    All operations are mutex-guarded and may be called from any domain.
-    The toggle is global and {e off by default}; while disabled every
-    function is the identity and {!encode} is plain [Route.encode]. *)
+    Lookups run against {e per-domain arenas} (domain-local storage), so
+    hits are lock-free; misses create provisional canonicals logged for
+    {!flush}, the canonicalizing merge into the mutex-guarded global
+    tables that the engine's pool workers run before every epoch barrier.
+    Every function may be called from any domain.  The toggle is global
+    and {e off by default}; while disabled every function is the identity
+    and {!encode} is plain [Route.encode]. *)
 
 val set_enabled : bool -> unit
 (** Turn interning on or off (default: off).  Turning it {e off} also
@@ -36,13 +40,23 @@ val route : Route.t -> Route.t
 (** Canonical representative of the route; its [as_path] is itself
     interned.  Identity while disabled. *)
 
+val flush : unit -> unit
+(** Merge the calling domain's arena log into the global canonical
+    tables, assigning dense ids first-merged-wins; when another domain
+    merged an equal value first the arena is re-pointed at the winning
+    canonical so future hits share storage.  Pool workers call this on
+    their own domain before signalling the epoch barrier; the read APIs
+    below call it implicitly.  Cheap no-op when nothing is pending. *)
+
 val path_id : Asn.t list -> int option
-(** Dense id (assigned in interning order from 0) of an already-interned
-    path; [None] if never interned or while disabled. *)
+(** Dense id (assigned in merge order from 0) of an already-interned
+    path; [None] if never interned or while disabled.  Flushes the
+    calling domain's arena first, so ids interned on this domain are
+    always visible. *)
 
 val route_id : Route.t -> int option
 (** Dense id of an already-interned route; [None] if never interned or
-    while disabled. *)
+    while disabled.  Flushes the calling domain's arena first. *)
 
 val encode : Route.t -> string
 (** [Route.encode r], memoized per canonical route while interning is

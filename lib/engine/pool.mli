@@ -1,33 +1,77 @@
-(** Deterministic fixed-size worker pool over OCaml 5 domains.
+(** Persistent deterministic worker pool over OCaml 5 domains.
+
+    Worker domains are spawned once, live for the whole process, and block
+    on a condition variable between rounds — per-call [Domain.spawn]/
+    [Domain.join] churn was the dominant cost that made [jobs=2] slower
+    than [jobs=1] at epoch cadence (E13).  A round hands every
+    participating worker a self-contained closure and completes on a
+    counted barrier whose mutex release/acquire publishes the per-task
+    result slots to the caller.
 
     [run ~jobs tasks] evaluates every thunk in [tasks] and returns their
-    results {e in task order}, regardless of which domain ran which task or
-    how the domains interleaved.  Determinism therefore reduces to the
-    tasks themselves being pure functions (the engine arranges that: each
-    task draws randomness only from its own derived DRBG and owns its
-    vertex caches exclusively).
+    results {e in task order}, regardless of which worker ran which task
+    or how they interleaved.  Determinism therefore reduces to the tasks
+    themselves being pure functions (the engine arranges that: each task
+    draws randomness only from its own derived DRBG and owns its vertex
+    caches exclusively).  If any task raises, the pool finishes the
+    remaining tasks, completes the barrier, and re-raises the first
+    exception (by task order).
 
-    Work is handed out by an atomic next-task index, so domains
-    self-balance across tasks of uneven cost.  Results are written into
-    per-task slots; [Domain.join] on every worker is the happens-before
-    edge that makes them visible to the caller.  If any task raises, the
-    pool finishes the remaining tasks, joins every domain, and re-raises
-    the first exception (by task order). *)
+    Before signalling the barrier each worker flushes its domain-local
+    intern arena ({!Pvr_bgp.Intern.flush}), so canonical route/path ids
+    are merged into the global tables by the time the caller resumes.
+
+    Cumulative per-worker utilization is published as gauges
+    [engine.pool.domain.<k>.busy_us], [.idle_us] and [.tasks] after every
+    round, making contention regressions visible in metric snapshots
+    rather than only in wall-clock. *)
 
 val run : jobs:int -> (unit -> 'a) array -> 'a array
 (** [jobs <= 1] (or fewer than two tasks) runs inline on the calling
     domain, in order — byte-identical results by construction.  [jobs] is
-    otherwise capped at the number of tasks. *)
+    otherwise capped at the number of tasks and folded onto at most 16
+    resident workers.  Work is handed out as chunks of consecutive tasks
+    via one atomic counter, so workers self-balance across tasks of uneven
+    cost with a fraction of the handout traffic of per-task dispatch. *)
 
 val run_sharded :
   jobs:int -> shard:(int -> int) -> (unit -> 'a) array -> 'a array
 (** Like {!run}, but with {e static ownership} instead of an atomic
-    handout: domain [d] executes exactly the tasks [i] with
-    [shard i mod jobs = d], in task order, and no task ever migrates —
-    there is no cross-domain work stealing.  The engine shards by
-    (prover, prefix), so a vertex is always computed by the domain owning
-    its shard, its cache locality survives across epochs, and placement is
-    a pure function of the shard map rather than scheduling luck.  Results
-    are still returned in task order; [shard] may return any int (it is
-    masked non-negative).  Load balance is the caller's problem — a skewed
-    shard function leaves domains idle. *)
+    handout: the owner of task [i] is the pure function
+    [(shard i) mod jobs], and worker [k] plays every owner role congruent
+    to [k] modulo the resident worker count (identical to one domain per
+    role whenever [jobs] is at most 16).  No task ever migrates — there is
+    no cross-domain work stealing.  The engine shards by (prover, prefix),
+    so a vertex is always computed by the worker owning its shard, its
+    cache locality survives across epochs, and placement is a function of
+    the shard map rather than scheduling luck.  Results are still returned
+    in task order; [shard] may return any int (it is masked non-negative).
+    Load balance is the caller's problem — a skewed shard function leaves
+    workers idle. *)
+
+val submit : (unit -> unit) -> unit
+(** Enqueue an asynchronous work item; the first idle worker executes it.
+    Items are self-contained: they must catch their own exceptions and
+    signal their own completion (the serve daemon wraps session work this
+    way).  There is no result plumbing and no bound here — admission
+    control is the caller's job. *)
+
+val ensure_workers : int -> unit
+(** Spawn resident workers up to the given count (capped at 16).  [run]
+    and [run_sharded] call this implicitly; the serve daemon calls it once
+    at startup to size the pool. *)
+
+val worker_count : unit -> int
+(** Number of resident worker domains. *)
+
+val shutdown : unit -> unit
+(** Stop and join every resident worker (idempotent; also registered via
+    [at_exit]).  Subsequent calls to [run]/[submit] transparently respawn
+    workers. *)
+
+val set_perturb : (int -> unit) option -> unit
+(** Test-only scheduler perturbation: [Some f] calls [f i] right before a
+    pool worker executes task [i] (both handout modes; never on the
+    inline path).  The concurrency stress battery installs seeded random
+    sleeps here to prove result/digest order-independence.  [None]
+    removes the hook. *)

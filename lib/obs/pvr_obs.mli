@@ -26,7 +26,10 @@ val enabled : unit -> bool
 (** {2 Counters} *)
 
 type counter
-(** A monotonic named counter (also used for byte accumulators). *)
+(** A monotonic named counter (also used for byte accumulators).
+    Internally sharded across per-domain cells so concurrent increments
+    from engine worker domains never contend on one atomic; {!value} and
+    snapshot capture fold the cells. *)
 
 val counter : string -> counter
 (** Get or create the registered counter with that name.  Counter names use
@@ -39,6 +42,10 @@ val add : counter -> int -> unit
 (** No-op while disabled. *)
 
 val value : counter -> int
+(** Fold of the per-domain cells.  Exact once concurrent writers have
+    been joined (the engine only reads at epoch barriers and snapshot
+    capture); mid-flight reads may lag in-progress increments, exactly as
+    a racing read of a single atomic would. *)
 
 (** {2 Gauges} *)
 

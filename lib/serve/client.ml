@@ -1,0 +1,80 @@
+(* Blocking client for the `pvr serve` protocol: one connection, one
+   in-flight request.  Used by `pvr drive`, the serve-vs-batch test
+   differential and the E17 bench load generator. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect listen =
+  let fd =
+    match (listen : Server.listen) with
+    | Server.Unix_sock path ->
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_UNIX path);
+        fd
+    | Server.Tcp (host, port) ->
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        let addr = (Unix.gethostbyname host).h_addr_list.(0) in
+        Unix.connect fd (ADDR_INET (addr, port));
+        fd
+  in
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  Protocol.send_request t.fd req;
+  match Protocol.recv_response t.fd with
+  | Ok resp -> resp
+  | Error e -> Protocol.Err ("malformed response: " ^ e)
+
+let ping t = match rpc t Protocol.Ping with Protocol.Ok_r -> true | _ -> false
+
+let open_session t params =
+  match rpc t (Protocol.Open_session params) with
+  | Protocol.Session id -> Ok id
+  | Protocol.Busy -> Error "busy"
+  | Protocol.Err e -> Error e
+  | _ -> Error "protocol error"
+
+(* Drive one Run_epochs stream: [on_verdict] fires per epoch frame, and
+   the return is the terminal frame's content. *)
+let run_epochs ?(on_verdict = fun (_ : Protocol.verdict) -> ()) t id =
+  Protocol.send_request t.fd (Protocol.Run_epochs id);
+  let rec loop () =
+    match Protocol.recv_response t.fd with
+    | Error e -> Error ("malformed response: " ^ e)
+    | Ok (Protocol.Verdict v) ->
+        on_verdict v;
+        loop ()
+    | Ok (Protocol.Done { d_digest; d_convicted }) -> Ok (d_digest, d_convicted)
+    | Ok Protocol.Busy -> Error "busy"
+    | Ok (Protocol.Err e) -> Error e
+    | Ok _ -> Error "protocol error"
+  in
+  loop ()
+
+let query ?(viewer = 0) ?(json = false) t text =
+  match rpc t (Protocol.Query { q_text = text; q_viewer = viewer; q_json = json }) with
+  | Protocol.Rows rows -> Ok rows
+  | Protocol.Err e -> Error e
+  | Protocol.Busy -> Error "busy"
+  | _ -> Error "protocol error"
+
+let stats t =
+  match rpc t Protocol.Stats with
+  | Protocol.Stats_r s -> Ok s
+  | Protocol.Err e -> Error e
+  | _ -> Error "protocol error"
+
+let stall t ms =
+  match rpc t (Protocol.Stall ms) with
+  | Protocol.Ok_r -> Ok ()
+  | Protocol.Busy -> Error "busy"
+  | Protocol.Err e -> Error e
+  | _ -> Error "protocol error"
+
+let close_session t id =
+  match rpc t (Protocol.Close_session id) with
+  | Protocol.Ok_r -> Ok ()
+  | Protocol.Err e -> Error e
+  | _ -> Error "protocol error"

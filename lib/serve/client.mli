@@ -1,0 +1,33 @@
+(** Blocking client for the `pvr serve` protocol: one connection, one
+    in-flight request at a time.  Every call is synchronous; concurrency
+    comes from using one client per thread (`pvr drive`, the E17 bench
+    load generator and the serve test battery do exactly that). *)
+
+type t
+
+val connect : Server.listen -> t
+(** @raise Unix.Unix_error when the daemon is unreachable. *)
+
+val close : t -> unit
+
+val ping : t -> bool
+
+val open_session : t -> Workload.params -> (int, string) result
+(** Returns the session id.  [Error "busy"] maps the daemon's [Busy]. *)
+
+val run_epochs :
+  ?on_verdict:(Protocol.verdict -> unit) ->
+  t ->
+  int ->
+  (string * int, string) result
+(** Stream the session's epochs: [on_verdict] fires once per epoch frame;
+    returns the terminal [(digest, convictions)]. *)
+
+val query :
+  ?viewer:int -> ?json:bool -> t -> string -> (string list, string) result
+(** Run a `pvr query`-language request against the daemon's attached
+    evidence store; returns rendered output lines. *)
+
+val stats : t -> (Protocol.stats_reply, string) result
+val stall : t -> int -> (unit, string) result
+val close_session : t -> int -> (unit, string) result

@@ -1,0 +1,323 @@
+(* Concurrency stress/determinism battery for the contention surgery
+   (PR 10): the persistent domain pool, per-domain intern arenas with
+   canonicalizing merge at epoch barriers, and sharded observability
+   counters.  The anchor is the digest invariant — every epoch digest must
+   be byte-identical across jobs x shards x intern x cache settings, even
+   under adversarial scheduling perturbation — plus unit checks that the
+   merge and fold machinery is exact, not merely statistically close. *)
+
+module P = Pvr
+module E = Pvr_engine.Engine
+module Pool = Pvr_engine.Pool
+module Obs = Pvr_obs
+module G = Pvr_bgp
+module C = Pvr_crypto
+
+let asn = G.Asn.of_int
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let with_intern enabled f =
+  Fun.protect
+    ~finally:(fun () -> G.Intern.set_enabled false)
+    (fun () ->
+      G.Intern.set_enabled enabled;
+      f ())
+
+(* ---- differential engine runs ----------------------------------------------------- *)
+
+let diff_ases = 16
+
+let diff_keyring =
+  lazy
+    (P.Keyring.create ~bits:512
+       (C.Drbg.of_int_seed 4242)
+       (List.init diff_ases (fun i -> asn (i + 1))))
+
+(* One seeded 3-epoch workload; returns the per-epoch report digests and
+   the final RIB digest.  Everything that may legally vary — jobs, shards,
+   intern, cache — is a parameter; the digests must not notice. *)
+let diff_run ~seed ~intern ~jobs ~shards ~cache () =
+  with_intern intern @@ fun () ->
+  let topo = G.Topology.generate (C.Drbg.of_int_seed seed) ~ases:diff_ases () in
+  let origins = List.init 3 (fun i -> asn (diff_ases - i)) in
+  let sim = G.Simulator.create topo in
+  let churn =
+    G.Update_gen.Churn.create ~anycast:1 ~origins ~prefixes_per_origin:2 ()
+  in
+  let churn_rng = C.Drbg.of_int_seed (seed + 1) in
+  let eng =
+    E.create ~jobs ~shards ~cache ~salt_every:2
+      (C.Drbg.of_int_seed (seed + 2))
+      (Lazy.force diff_keyring) ~topology:topo ~sim ()
+  in
+  let digests = ref [] in
+  for i = 1 to 3 do
+    let apply sim =
+      if i = 1 then List.length (G.Update_gen.Churn.seed churn sim)
+      else
+        List.length (G.Update_gen.Churn.step churn_rng ~turnover:0.4 churn sim)
+    in
+    let r = E.epoch ~apply eng in
+    digests := r.E.ep_digest :: !digests
+  done;
+  (List.rev !digests, E.rib_digest eng)
+
+(* jobs in {1,2,4,8} x intern on/off x shards: every combination must
+   reproduce the jobs=1 plain-representation baseline byte for byte. *)
+let digest_differential =
+  let open QCheck2.Gen in
+  let gen =
+    let* seed = 1 -- 1000 in
+    let* jobs = oneofl [ 1; 2; 4; 8 ] in
+    let* shards = oneofl [ 0; 1; 3; 5; 8 ] in
+    let* intern = bool in
+    let* cache = bool in
+    return (seed, jobs, shards, intern, cache)
+  in
+  qtest ~count:8 "digests: jobs x shards x intern x cache differential" gen
+    (fun (seed, jobs, shards, intern, cache) ->
+      let base, base_rib =
+        diff_run ~seed ~intern:false ~jobs:1 ~shards:0 ~cache:true ()
+      in
+      let d, rib = diff_run ~seed ~intern ~jobs ~shards ~cache () in
+      base = d && base_rib = rib && base <> [])
+
+(* Scheduler perturbation: seeded random sleeps before every pool task
+   reshuffle the interleaving (handout order, arena flush order, counter
+   cell assignment) without touching the computation.  The digests must
+   not move.  The hook is process-global state, so it is always removed
+   again even on failure. *)
+let perturbed_schedule_deterministic () =
+  let base, base_rib =
+    diff_run ~seed:271 ~intern:true ~jobs:1 ~shards:0 ~cache:true ()
+  in
+  List.iter
+    (fun pseed ->
+      let st = Random.State.make [| pseed |] in
+      let mu = Mutex.create () in
+      let sleep _i =
+        let d =
+          Mutex.lock mu;
+          let d = Random.State.float st 0.002 in
+          Mutex.unlock mu;
+          d
+        in
+        if d > 0.0005 then Unix.sleepf d
+      in
+      Fun.protect
+        ~finally:(fun () -> Pool.set_perturb None)
+        (fun () ->
+          Pool.set_perturb (Some sleep);
+          let d, rib =
+            diff_run ~seed:271 ~intern:true ~jobs:4 ~shards:5 ~cache:true ()
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "perturb seed %d: epoch digests" pseed)
+            base d;
+          check_string
+            (Printf.sprintf "perturb seed %d: rib digest" pseed)
+            base_rib rib))
+    [ 7; 99; 1234 ]
+
+(* ---- per-domain intern arenas ------------------------------------------------------ *)
+
+let mk_route ~addr ~len ~path ~lp =
+  match path with
+  | [] -> invalid_arg "mk_route: empty path"
+  | first :: _ ->
+      {
+        G.Route.prefix = G.Prefix.make ~addr ~len;
+        as_path = List.map asn path;
+        next_hop = asn first;
+        local_pref = lp;
+        med = 0;
+        origin = G.Route.Igp;
+        communities = [];
+      }
+
+let arena_route i =
+  mk_route ~addr:(10 lsl 24) ~len:24 ~path:[ 3 + (i mod 8); 2; 1 ] ~lp:100
+
+(* Four workers intern heavily-overlapping route sets (every distinct
+   route is seen by every worker, through physically distinct copies).
+   After the round barrier every arena has flushed: the global tables must
+   hold exactly the distinct set, with dense ids and one canonical
+   representative per equivalence class. *)
+let arena_merge_no_duplicates () =
+  with_intern true @@ fun () ->
+  G.Intern.reset ();
+  let distinct = 8 in
+  let tasks =
+    Array.init 4 (fun w ->
+        fun () ->
+          List.init 24 (fun i ->
+              (* Each task builds its own copies in a different order. *)
+              G.Intern.route (arena_route ((i + (w * 3)) mod distinct))))
+  in
+  let results = Pool.run ~jobs:4 tasks in
+  let stats = G.Intern.stats () in
+  check_int "live routes = distinct set" distinct stats.G.Intern.live_routes;
+  (* No duplicate canonical ids: structurally equal routes resolve to the
+     same id no matter which domain first interned them. *)
+  let ids = Hashtbl.create 16 in
+  Array.iter
+    (fun rs ->
+      List.iter
+        (fun r ->
+          match G.Intern.route_id r with
+          | None -> Alcotest.fail "interned route has no id"
+          | Some id -> (
+              let key = G.Route.encode r in
+              match Hashtbl.find_opt ids key with
+              | None -> Hashtbl.add ids key id
+              | Some id' ->
+                  check_int "one id per equivalence class" id' id))
+        rs)
+    results;
+  check_int "id space is the distinct set" distinct (Hashtbl.length ids);
+  let sorted = Hashtbl.fold (fun _ id acc -> id :: acc) ids [] in
+  let sorted = List.sort_uniq Int.compare sorted in
+  check_bool "ids dense 0..n-1" true
+    (sorted = List.init distinct (fun i -> i))
+
+(* Dense-id stability: once merged, a canonical id never moves — a second
+   round re-interning the same routes (plus fresh ones) from different
+   domains extends the id space without renumbering survivors. *)
+let arena_merge_id_stability () =
+  with_intern true @@ fun () ->
+  G.Intern.reset ();
+  let first = Array.init 3 (fun _ -> fun () ->
+      List.init 6 (fun i -> G.Intern.route (arena_route i)))
+  in
+  ignore (Pool.run ~jobs:3 first : G.Route.t list array);
+  let id_of i =
+    match G.Intern.route_id (arena_route i) with
+    | Some id -> id
+    | None -> Alcotest.fail "expected an id"
+  in
+  let before = List.init 6 id_of in
+  let second =
+    Array.init 3 (fun w -> fun () ->
+        List.init 12 (fun i ->
+            G.Intern.route (arena_route ((i + w) mod 8))))
+  in
+  ignore (Pool.run ~jobs:3 second : G.Route.t list array);
+  List.iteri
+    (fun i id -> check_int (Printf.sprintf "route %d id stable" i) id (id_of i))
+    before;
+  check_int "id space extended densely" 8 (G.Intern.stats ()).G.Intern.live_routes;
+  let all = List.sort_uniq Int.compare (List.init 8 id_of) in
+  check_bool "still dense after growth" true (all = List.init 8 Fun.id)
+
+(* An explicit flush from the calling domain is also legal (the engine
+   calls it at epoch barriers; submit-path workers call it themselves). *)
+let arena_explicit_flush () =
+  with_intern true @@ fun () ->
+  G.Intern.reset ();
+  let r = G.Intern.route (arena_route 0) in
+  G.Intern.flush ();
+  check_bool "id visible after flush" true (G.Intern.route_id r <> None);
+  G.Intern.flush ();
+  check_int "flush is idempotent" 1 (G.Intern.stats ()).G.Intern.live_routes
+
+(* ---- sharded counters -------------------------------------------------------------- *)
+
+let with_obs f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset_all ())
+    (fun () ->
+      Obs.reset_all ();
+      Obs.set_enabled true;
+      f ())
+
+(* Four domains hammer one counter; the fold after the join must equal
+   the exact arithmetic total — sharding loses nothing. *)
+let sharded_counter_fold_exact () =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.concurrency.hammer" in
+  let per_task = 10_000 in
+  let tasks =
+    Array.init 8 (fun _ ->
+        fun () ->
+          for _ = 1 to per_task do
+            Obs.incr c
+          done;
+          Obs.add c 5)
+  in
+  ignore (Pool.run ~jobs:4 tasks : unit array);
+  let expect = (8 * per_task) + (8 * 5) in
+  check_int "fold equals arithmetic total" expect (Obs.value c);
+  let snap = Obs.Snapshot.capture () in
+  check_int "snapshot capture folds identically" expect
+    (Obs.Snapshot.counter_value snap "test.concurrency.hammer")
+
+(* Cross-check against the runner's always-exact local tally: a protocol
+   round counts its messages in a Tally (single-domain, exact by
+   construction) and publishes the same counts into the sharded global
+   counter.  The two must agree to the message. *)
+let sharded_counter_vs_runner_report () =
+  with_obs @@ fun () ->
+  let prover = asn 1 and beneficiary = asn 50 in
+  let providers = List.init 3 (fun i -> asn (10 + i)) in
+  let kr =
+    P.Keyring.create ~bits:512
+      (C.Drbg.of_int_seed 555)
+      (prover :: beneficiary :: providers)
+  in
+  let prefix = G.Prefix.of_string "10.0.0.0/8" in
+  let route n len =
+    let path = List.init len (fun j -> if j = 0 then n else asn (3000 + j)) in
+    let base = G.Route.originate ~asn:n prefix in
+    { base with G.Route.as_path = path; next_hop = n }
+  in
+  let routes = List.mapi (fun i n -> (n, route n (i + 2))) providers in
+  let total = ref 0 in
+  for i = 1 to 3 do
+    let r =
+      P.Runner.min_round ~max_path_len:8 P.Adversary.Honest
+        (C.Drbg.of_int_seed (600 + i))
+        kr ~prover ~beneficiary ~epoch:i ~prefix ~routes
+    in
+    check_bool "round counted messages" true (r.P.Runner.messages > 0);
+    total := !total + r.P.Runner.messages
+  done;
+  let snap = Obs.Snapshot.capture () in
+  check_int "sharded fold = sum of tally-exact reports" !total
+    (Obs.Snapshot.counter_value snap "runner.messages")
+
+(* Folds also stay exact when increments arrive from pool worker domains
+   racing the inline path (cells are per-domain; the fold sums them). *)
+let sharded_counter_multi_domain_mix () =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.concurrency.mix" in
+  let tasks = Array.init 6 (fun _ -> fun () -> Obs.add c 100) in
+  ignore (Pool.run ~jobs:3 tasks : unit array);
+  Obs.add c 1;
+  check_int "mixed-domain fold" 601 (Obs.value c)
+
+let suite =
+  [
+    digest_differential;
+    ( "digests: stable under seeded scheduler perturbation",
+      `Slow,
+      perturbed_schedule_deterministic );
+    ("intern: arena merge yields no duplicate canonicals", `Quick,
+      arena_merge_no_duplicates);
+    ("intern: canonical ids stable across merge rounds", `Quick,
+      arena_merge_id_stability);
+    ("intern: explicit flush is visible and idempotent", `Quick,
+      arena_explicit_flush);
+    ("obs: sharded counter fold is exact across domains", `Quick,
+      sharded_counter_fold_exact);
+    ("obs: sharded fold matches runner tally reports", `Quick,
+      sharded_counter_vs_runner_report);
+    ("obs: mixed inline/worker increments fold exactly", `Quick,
+      sharded_counter_multi_domain_mix);
+  ]

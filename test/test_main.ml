@@ -20,9 +20,11 @@ let suites =
     ("scale", Test_scale.suite);
     ("adversary", Test_adversary.suite);
     ("mem", Test_mem.suite);
+    ("concurrency", Test_concurrency.suite);
+    ("serve", Test_serve.suite);
   ]
 
-let expected_tests = 444
+let expected_tests = 459
 
 let () =
   let total = List.fold_left (fun n (_, s) -> n + List.length s) 0 suites in

@@ -1,0 +1,359 @@
+(* Battery for the `pvr serve` daemon (PR 10): session isolation, explicit
+   backpressure, drain-on-shutdown, crash-resilience against vanished
+   clients, and — the anchor — the serve-vs-batch digest differential:
+   a session streamed over the wire must reproduce, byte for byte, the
+   digests of a batch `pvr engine` run of the same parameters.
+
+   Most tests run an in-process daemon on a throwaway Unix socket (an
+   in-process SIGTERM would kill the test runner); the real-signal drain
+   contract is exercised against a forked `pvr serve` CLI process. *)
+
+module S = Pvr_serve.Server
+module Cl = Pvr_serve.Client
+module Pr = Pvr_serve.Protocol
+module W = Pvr_serve.Workload
+module Pool = Pvr_engine.Pool
+module Obs = Pvr_obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let sock_seq = ref 0
+
+let fresh_sock () =
+  incr sock_seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pvr-serve-test-%d-%d.sock" (Unix.getpid ()) !sock_seq)
+
+let with_server ?(workers = 2) ?(queue_cap = 8) f =
+  let path = fresh_sock () in
+  let t =
+    S.start { (S.default_config (S.Unix_sock path)) with workers; queue_cap }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try S.stop t with _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f path t)
+
+(* A session small enough to run many times: 3 ASes, 2 origins, RSA-512. *)
+let params ?(epochs = 2) seed =
+  { W.defaults with W.p_seed = seed; p_tiers = "1,2"; p_origins = 2; p_epochs = epochs }
+
+let batch_digest p =
+  let w = W.build_world ~quiet:true p in
+  match W.engine_core ~quiet:true w p with
+  | Ok (digest, convicted) -> (digest, convicted)
+  | Error e -> Alcotest.fail ("batch run failed: " ^ e)
+
+let session_digest ?on_verdict c p =
+  match Cl.open_session c p with
+  | Error e -> Alcotest.fail ("open_session: " ^ e)
+  | Ok id -> (
+      match Cl.run_epochs ?on_verdict c id with
+      | Ok (digest, convicted) -> (digest, convicted)
+      | Error e -> Alcotest.fail ("run_epochs: " ^ e))
+
+(* Raw protocol access, for tests that must hang up mid-stream. *)
+let raw_connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  fd
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let poll ?(timeout = 10.0) ~what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail ("timed out waiting for " ^ what)
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* ---- basics ------------------------------------------------------------------------ *)
+
+let ping_stats_and_errors () =
+  with_server @@ fun path t ->
+  let c = Cl.connect (S.Unix_sock path) in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  check_bool "ping" true (Cl.ping c);
+  (match Cl.stats c with
+  | Ok st ->
+      check_bool "draining off" false st.Pr.st_draining;
+      check_int "queue cap" 8 st.Pr.st_queue_cap;
+      check_bool "workers sized" true (st.Pr.st_workers >= 1);
+      check_int "no inflight" 0 st.Pr.st_inflight
+  | Error e -> Alcotest.fail e);
+  (match Cl.run_epochs c 999 with
+  | Error e -> check_string "unknown session" "unknown session" e
+  | Ok _ -> Alcotest.fail "phantom session ran");
+  (match Cl.query c "evidence where epoch = 1" with
+  | Error e ->
+      check_bool "query without store names the flag" true (contains e "store")
+  | Ok _ -> Alcotest.fail "query must fail with no store attached");
+  ignore (S.stats t : Pr.stats_reply)
+
+(* ---- serve-vs-batch differential -------------------------------------------------- *)
+
+let serve_matches_batch () =
+  let p = params 42 in
+  let want, want_conv = batch_digest p in
+  with_server @@ fun path _t ->
+  let c = Cl.connect (S.Unix_sock path) in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  let verdicts = ref [] in
+  let got, conv =
+    session_digest ~on_verdict:(fun v -> verdicts := v :: !verdicts) c p
+  in
+  check_string "final digest matches batch" want got;
+  check_int "convictions match batch" want_conv conv;
+  let vs = List.rev !verdicts in
+  check_int "one verdict per epoch" p.W.p_epochs (List.length vs);
+  List.iteri
+    (fun i v -> check_int "epochs in order" (i + 1) v.Pr.v_epoch)
+    vs;
+  (* The stream's last running digest is the terminal digest: the hash
+     chain the client watched is the one the daemon committed to. *)
+  check_string "last verdict digest is terminal" got
+    (List.nth vs (List.length vs - 1)).Pr.v_digest
+
+(* ---- concurrent sessions are isolated --------------------------------------------- *)
+
+let concurrent_sessions_isolated () =
+  let seeds = [| 50; 51; 52 |] in
+  let want = Array.map (fun s -> fst (batch_digest (params s))) seeds in
+  with_server ~workers:2 @@ fun path _t ->
+  let got = Array.make (Array.length seeds) (Error "never ran") in
+  let threads =
+    Array.mapi
+      (fun i seed ->
+        Thread.create
+          (fun () ->
+            let c = Cl.connect (S.Unix_sock path) in
+            Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+            match Cl.open_session c (params seed) with
+            | Error e -> got.(i) <- Error e
+            | Ok id -> got.(i) <- (
+                match Cl.run_epochs c id with
+                | Ok (d, _) -> Ok d
+                | Error e -> Error e))
+          ())
+      seeds
+  in
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Error e -> Alcotest.fail (Printf.sprintf "session %d: %s" i e)
+      | Ok d ->
+          check_string
+            (Printf.sprintf "session %d matches its batch digest" i)
+            want.(i) d)
+    got;
+  (* Different seeds must not bleed into each other. *)
+  check_bool "digests differ across seeds" true
+    (want.(0) <> want.(1) && want.(1) <> want.(2))
+
+(* ---- backpressure ------------------------------------------------------------------ *)
+
+(* Fill every resident worker with stalls, then the 1-slot queue, then
+   probe: the probe must be refused [Busy] immediately, and the queue
+   gauge must never exceed the cap — bounded admission, not buffering. *)
+let backpressure_returns_busy () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset_all ())
+  @@ fun () ->
+  Obs.reset_all ();
+  Obs.set_enabled true;
+  with_server ~workers:2 ~queue_cap:1 @@ fun path _t ->
+  let workers = Pool.worker_count () in
+  check_bool "pool has workers" true (workers >= 1);
+  let occupants = workers + 1 in
+  let finished = Atomic.make 0 in
+  let threads =
+    List.init occupants (fun _ ->
+        Thread.create
+          (fun () ->
+            let c = Cl.connect (S.Unix_sock path) in
+            Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+            (match Cl.stall c 1500 with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("occupant stall: " ^ e));
+            Atomic.incr finished)
+          ())
+  in
+  let probe = Cl.connect (S.Unix_sock path) in
+  Fun.protect ~finally:(fun () -> Cl.close probe) @@ fun () ->
+  poll ~what:"full queue" (fun () ->
+      match Cl.stats probe with
+      | Ok st -> st.Pr.st_queue_depth >= 1
+      | Error _ -> false);
+  (match Cl.stall probe 10 with
+  | Error e -> check_string "probe refused" "busy" e
+  | Ok () -> Alcotest.fail "expected Busy with a full queue");
+  check_bool "queue gauge bounded by cap" true
+    (Obs.gauge_read (Obs.gauge "serve.queue.depth") <= 1);
+  check_bool "refusals counted" true (Obs.value (Obs.counter "serve.busy") >= 1);
+  List.iter Thread.join threads;
+  check_int "every admitted stall completed" occupants (Atomic.get finished)
+
+(* ---- vanished clients -------------------------------------------------------------- *)
+
+(* A client that hangs up mid-stream must cancel its own session and
+   nothing else: the pool drains, the daemon stays serviceable, and a
+   subsequent session completes with the right digest. *)
+let killed_client_never_wedges () =
+  with_server @@ fun path t ->
+  let p = params ~epochs:6 77 in
+  let fd = raw_connect path in
+  Pr.send_request fd (Pr.Open_session p);
+  let sid =
+    match Pr.recv_response fd with
+    | Ok (Pr.Session id) -> id
+    | _ -> Alcotest.fail "expected a session id"
+  in
+  Pr.send_request fd (Pr.Run_epochs sid);
+  (* One verdict in hand proves the stream is live — now vanish. *)
+  (match Pr.recv_response fd with
+  | Ok (Pr.Verdict _) -> ()
+  | _ -> Alcotest.fail "expected a verdict frame");
+  Unix.close fd;
+  (* The daemon notices on its next write and unwinds the worker. *)
+  poll ~what:"pool drain after client death" (fun () ->
+      let st = S.stats t in
+      st.Pr.st_inflight = 0 && st.Pr.st_sessions = 0);
+  let c = Cl.connect (S.Unix_sock path) in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  let want, _ = batch_digest (params 78) in
+  let got, _ = session_digest c (params 78) in
+  check_string "daemon still serves correct digests" want got
+
+(* ---- drain on shutdown ------------------------------------------------------------- *)
+
+(* initiate_shutdown mid-stream: the in-flight session finishes and its
+   terminal frame arrives; afterwards the listener is gone. *)
+let shutdown_drains_inflight () =
+  let p = params ~epochs:4 91 in
+  let want, _ = batch_digest p in
+  let path = fresh_sock () in
+  let t = S.start { (S.default_config (S.Unix_sock path)) with workers = 2 } in
+  let first_verdict = Atomic.make false in
+  let result = ref (Error "never ran") in
+  let client =
+    Thread.create
+      (fun () ->
+        let c = Cl.connect (S.Unix_sock path) in
+        Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+        match Cl.open_session c p with
+        | Error e -> result := Error e
+        | Ok id ->
+            result :=
+              Cl.run_epochs
+                ~on_verdict:(fun _ -> Atomic.set first_verdict true)
+                c id)
+      ()
+  in
+  poll ~what:"first verdict" (fun () -> Atomic.get first_verdict);
+  S.initiate_shutdown t;
+  S.wait t;
+  Thread.join client;
+  (match !result with
+  | Ok (d, _) -> check_string "in-flight stream completed through drain" want d
+  | Error e -> Alcotest.fail ("stream aborted by shutdown: " ^ e));
+  (match Cl.connect (S.Unix_sock path) with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+      Cl.close c;
+      Alcotest.fail "listener must be gone after drain");
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* ---- real SIGTERM against the forked CLI ------------------------------------------- *)
+
+let cli = "../bin/pvr_cli.exe"
+
+let sigterm_drains_forked_daemon () =
+  let path = fresh_sock () in
+  let devnull = Unix.openfile "/dev/null" [ O_RDWR ] 0 in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; path; "--workers"; "2" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  poll ~what:"daemon socket" (fun () ->
+      Sys.file_exists path
+      &&
+      match raw_connect path with
+      | exception Unix.Unix_error _ -> false
+      | fd ->
+          Unix.close fd;
+          true);
+  let p = params ~epochs:3 13 in
+  let want, _ = batch_digest p in
+  let fd = raw_connect path in
+  Pr.send_request fd (Pr.Open_session p);
+  let sid =
+    match Pr.recv_response fd with
+    | Ok (Pr.Session id) -> id
+    | _ -> Alcotest.fail "expected a session id"
+  in
+  Pr.send_request fd (Pr.Run_epochs sid);
+  (* First verdict in hand = the stream is in flight; SIGTERM now. *)
+  (match Pr.recv_response fd with
+  | Ok (Pr.Verdict v) -> check_int "first epoch" 1 v.Pr.v_epoch
+  | _ -> Alcotest.fail "expected a verdict frame");
+  Unix.kill pid Sys.sigterm;
+  (* The drain contract: the in-flight stream still terminates with the
+     correct digest... *)
+  let rec drain () =
+    match Pr.recv_response fd with
+    | Ok (Pr.Verdict _) -> drain ()
+    | Ok (Pr.Done { d_digest; _ }) -> d_digest
+    | Ok (Pr.Err e) -> Alcotest.fail ("stream aborted: " ^ e)
+    | _ -> Alcotest.fail "unexpected frame while draining"
+  in
+  check_string "digest across SIGTERM" want (drain ());
+  Unix.close fd;
+  (* ...and the daemon then exits 0 and removes its socket. *)
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "daemon exited %d" n)
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+      Alcotest.fail "daemon killed by signal");
+  check_bool "socket removed on exit" false (Sys.file_exists path)
+
+let suite =
+  [
+    Alcotest.test_case "serve: ping, stats, protocol errors" `Quick
+      ping_stats_and_errors;
+    Alcotest.test_case "serve: session digest = batch digest" `Quick
+      serve_matches_batch;
+    Alcotest.test_case "serve: concurrent sessions are isolated" `Quick
+      concurrent_sessions_isolated;
+    Alcotest.test_case "serve: backpressure refuses with Busy" `Slow
+      backpressure_returns_busy;
+    Alcotest.test_case "serve: killed client never wedges the pool" `Quick
+      killed_client_never_wedges;
+    Alcotest.test_case "serve: shutdown drains in-flight streams" `Quick
+      shutdown_drains_inflight;
+    Alcotest.test_case "serve: SIGTERM drains the forked daemon" `Slow
+      sigterm_drains_forked_daemon;
+  ]
